@@ -1,0 +1,40 @@
+"""Figure 1: case-report category distribution.
+
+Paper claim: "Cardiovascular disease accounts for 20% of all case
+reports, and is the 2nd largest category of case reports after cancer."
+"""
+
+from conftest import write_result
+
+from repro.corpus.pubmed import (
+    CATEGORY_DISTRIBUTION,
+    observed_distribution,
+    sample_categories,
+)
+
+N_REPORTS = 20_000
+
+
+def test_fig1_category_distribution(benchmark):
+    categories = benchmark(sample_categories, N_REPORTS, 42)
+    dist = observed_distribution(categories)
+
+    lines = [
+        f"Figure 1 — category distribution over {N_REPORTS} sampled reports",
+        f"{'category':<22}{'target':>8}{'observed':>10}",
+    ]
+    for name in sorted(dist, key=dist.get, reverse=True):
+        lines.append(
+            f"{name:<22}{CATEGORY_DISTRIBUTION[name]:>8.3f}{dist[name]:>10.3f}"
+        )
+    ranked = sorted(dist, key=dist.get, reverse=True)
+    lines.append(
+        f"cancer largest: {ranked[0] == 'cancer'}; "
+        f"CVD second: {ranked[1] == 'cardiovascular'}; "
+        f"CVD share: {dist['cardiovascular']:.3f}"
+    )
+    write_result("fig1_categories", lines)
+
+    assert ranked[0] == "cancer"
+    assert ranked[1] == "cardiovascular"
+    assert 0.18 <= dist["cardiovascular"] <= 0.22

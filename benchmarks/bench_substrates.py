@@ -1,0 +1,102 @@
+"""Infrastructure throughput: the storage and search substrates.
+
+Not a paper figure — these are the supporting numbers for the
+architecture reproduction: document-store query latency with/without
+secondary indexes, keyword-engine indexing and query throughput under
+the paper's n-gram analyzer, and graph pattern-match latency.
+"""
+
+import numpy as np
+import pytest
+from conftest import write_result
+
+from repro.docstore.store import Collection
+from repro.graphdb.match import EdgePattern, GraphPattern, NodePattern, match_pattern
+from repro.search.engine import create_ir_engine
+
+N_DOCS = 2000
+
+
+@pytest.fixture(scope="module")
+def filled_collection():
+    coll = Collection("bench")
+    rng = np.random.default_rng(1)
+    categories = ["cvd", "cancer", "neuro", "renal"]
+    coll.insert_many(
+        {
+            "_id": f"d{i}",
+            "category": categories[int(rng.integers(0, 4))],
+            "year": int(rng.integers(2000, 2021)),
+        }
+        for i in range(N_DOCS)
+    )
+    return coll
+
+
+def test_docstore_scan_query(benchmark, filled_collection):
+    result = benchmark(
+        filled_collection.find, {"category": "cvd", "year": {"$gte": 2015}}
+    )
+    assert result
+
+
+def test_docstore_indexed_query(benchmark, filled_collection):
+    filled_collection.create_index("category")
+    result = benchmark(
+        filled_collection.find, {"category": "cvd", "year": {"$gte": 2015}}
+    )
+    assert result
+
+
+def test_search_engine_ngram_indexing(benchmark, ir_corpus):
+    docs = [(r.report_id, r.title, r.text) for r in ir_corpus[:100]]
+
+    def index_docs():
+        engine = create_ir_engine()
+        for doc_id, title, text in docs:
+            engine.index(doc_id, {"title": title, "body": text})
+        return engine
+
+    engine = benchmark.pedantic(index_docs, rounds=1, iterations=1)
+    assert engine.n_documents == 100
+
+
+def test_search_engine_query_latency(benchmark, ir_corpus):
+    engine = create_ir_engine()
+    for report in ir_corpus[:200]:
+        engine.index(report.report_id, {"title": report.title, "body": report.text})
+    hits = benchmark(engine.search, "chest pain and dyspnea", 10)
+    assert hits
+
+
+def test_graph_pattern_match_latency(benchmark, gold_ir_index):
+    pattern = GraphPattern(
+        nodes=[
+            NodePattern("a", (("entityType", "Sign_symptom"),)),
+            NodePattern("b", (("entityType", "Medication"),)),
+        ],
+        edges=[EdgePattern("a", "b", "BEFORE")],
+    )
+    bindings = benchmark(
+        match_pattern, gold_ir_index.graph, pattern, 50
+    )
+    assert bindings
+
+
+def test_substrate_summary(benchmark, gold_ir_index, ir_corpus):
+    counts = benchmark(
+        lambda: (
+            gold_ir_index.graph.n_nodes,
+            gold_ir_index.graph.n_edges,
+            gold_ir_index.engine.n_documents,
+        )
+    )
+    lines = [
+        "Substrate inventory (400-report gold index)",
+        f"graph nodes:  {counts[0]}",
+        f"graph edges:  {counts[1]}",
+        f"keyword docs: {counts[2]}",
+        f"corpus size:  {len(ir_corpus)} reports",
+    ]
+    write_result("substrates", lines)
+    assert counts[0] > 0

@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures and the result-table writer.
+
+Every benchmark prints the rows/series it reproduces and also appends
+them to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote
+measured numbers without re-running anything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, lines: list[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print("\n" + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def ir_corpus():
+    """400 gold reports for the retrieval benchmarks (built once)."""
+    from repro.corpus.pubmed import build_corpus
+
+    return build_corpus(400, seed=11)
+
+
+@pytest.fixture(scope="session")
+def gold_ir_index(ir_corpus):
+    """CREATe-IR dual index over gold annotations."""
+    from repro.ir.indexer import CreateIrIndexer
+
+    indexer = CreateIrIndexer()
+    for report in ir_corpus:
+        indexer.index_annotation_document(
+            report.report_id, report.title, report.annotations
+        )
+    return indexer
+
+
+@pytest.fixture(scope="session")
+def trained_extractor():
+    """An extraction stack trained on 40 gold reports (built once)."""
+    from repro.corpus.generator import CaseReportGenerator
+    from repro.pipeline import ClinicalExtractor
+    from repro.text.tokenize import tokenize
+
+    generator = CaseReportGenerator(seed=900)
+    train = [generator.generate(f"bench-train-{i}") for i in range(40)]
+    unlabeled = [[t.text for t in tokenize(r.text)] for r in train]
+    return ClinicalExtractor.train(train, unlabeled_sentences=unlabeled)

@@ -1,0 +1,78 @@
+"""Scenario: cohort discovery over cardiovascular case reports.
+
+The paper's motivating use case: a clinician wants case reports whose
+patients show a *specific clinical course* — e.g. "palpitations that
+preceded syncope" — not just documents mentioning both words.  This
+example builds a 300-report CVD-heavy corpus, indexes it with
+CREATe-IR, and contrasts relation-aware retrieval with the Solr-style
+keyword baseline on judged queries.
+
+Run:  python examples/cardiology_cohort_search.py
+"""
+
+import numpy as np
+
+from repro.corpus.pubmed import build_corpus
+from repro.corpus.queries import make_query_workload
+from repro.ir.indexer import CreateIrIndexer
+from repro.ir.query_parser import ParsedQuery, QueryConceptMention
+from repro.ir.searcher import CreateIrSearcher
+from repro.ml.metrics import average_precision, precision_at_k
+from repro.search.solr import SolrBaseline
+
+
+def main() -> None:
+    print("Generating a 300-report corpus with gold annotations...")
+    reports = build_corpus(300, seed=21)
+
+    print("Indexing into the dual CREATe-IR index (graph + keyword)...")
+    indexer = CreateIrIndexer()
+    for report in reports:
+        indexer.index_annotation_document(
+            report.report_id, report.title, report.annotations
+        )
+    searcher = CreateIrSearcher(indexer, parser=None)
+
+    solr = SolrBaseline()
+    for report in reports:
+        solr.index(report.report_id, report.title + " " + report.text)
+
+    print("Building a judged query workload from gold timelines...\n")
+    queries = make_query_workload(reports, n_queries=15, seed=22)
+
+    ir_map, solr_map, ir_p5, solr_p5 = [], [], [], []
+    for query in queries:
+        parsed = ParsedQuery(
+            text=query.text,
+            concepts=[
+                QueryConceptMention(c.surface, c.entity_type, 0, 0)
+                for c in query.concepts
+            ],
+            relations=[query.relation] if query.relation else [],
+        )
+        relevant = query.relevant_ids(2) or query.relevant_ids(1)
+        ir_ranked = [r.doc_id for r in searcher.search(parsed, size=10)]
+        solr_ranked = [h.doc_id for h in solr.search(query.text, size=10)]
+        ir_map.append(average_precision(ir_ranked, relevant))
+        solr_map.append(average_precision(solr_ranked, relevant))
+        ir_p5.append(precision_at_k(ir_ranked, relevant, 5))
+        solr_p5.append(precision_at_k(solr_ranked, relevant, 5))
+
+    print(f"{'query':<62}{'IR AP':>8}{'Solr AP':>9}")
+    for query, a, b in zip(queries, ir_map, solr_map):
+        print(f"{query.text[:60]:<62}{a:>8.2f}{b:>9.2f}")
+    print("-" * 79)
+    print(
+        f"{'MEAN':<62}{np.mean(ir_map):>8.3f}{np.mean(solr_map):>9.3f}"
+    )
+    print(
+        f"\nP@5: CREATe-IR={np.mean(ir_p5):.3f}  Solr={np.mean(solr_p5):.3f}"
+    )
+    print(
+        "\nRelation-aware graph search ranks the reports whose *clinical "
+        "course* matches the query above keyword-only matches."
+    )
+
+
+if __name__ == "__main__":
+    main()

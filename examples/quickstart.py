@@ -1,0 +1,66 @@
+"""Quickstart: build the full CREATe system and use its API.
+
+Builds a small end-to-end deployment (train extractors -> crawl the
+synthetic PubMed -> Grobid-parse -> extract -> index), then exercises
+the application facade exactly as the demo's frontend would: search,
+report retrieval, graph/timeline visualization and a PDF submission.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.crawler.repository import publication_fields
+from repro.grobid.simpdf import render_simpdf
+from repro.pipeline import build_demo_system
+
+
+def main() -> None:
+    print("Building the demo system (training extractors + ingesting)...")
+    pipeline, reports = build_demo_system(n_reports=40, n_train=40, seed=7)
+    print(f"  ingest stats: {pipeline.stats}\n")
+
+    # 1. CREATe-IR search with a natural-language query.
+    query = "A patient was admitted to the hospital because of chest pain and dyspnea."
+    response = pipeline.app.handle(
+        "GET", "/search", params={"q": query, "size": 5}
+    )
+    print(f"Search: {query!r}")
+    for rank, hit in enumerate(response.body["results"], start=1):
+        print(
+            f"  {rank}. {hit['id']}  engine={hit['engine']}  "
+            f"score={hit['score']:.2f}"
+        )
+
+    # 2. Inspect the top hit: stored document, knowledge graph, SVGs.
+    top_id = response.body["results"][0]["id"]
+    report = pipeline.app.handle("GET", f"/reports/{top_id}").body
+    print(f"\nTop hit title: {report['title']}")
+    graph = pipeline.app.handle("GET", f"/reports/{top_id}/graph").body
+    print(
+        f"Knowledge graph: {len(graph['nodes'])} nodes, "
+        f"{len(graph['edges'])} edges "
+        f"({sum(1 for e in graph['edges'] if e['inferred'])} inferred)"
+    )
+    svg = pipeline.app.handle("GET", f"/reports/{top_id}/svg").body
+    with open("quickstart_graph.svg", "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    timeline = pipeline.app.handle("GET", f"/reports/{top_id}/timeline").body
+    with open("quickstart_timeline.svg", "w", encoding="utf-8") as handle:
+        handle.write(timeline)
+    print("Wrote quickstart_graph.svg and quickstart_timeline.svg")
+
+    # 3. Submit a new publication through the PDF service.
+    simpdf = render_simpdf(*publication_fields(reports[0]))
+    submission = pipeline.app.handle("POST", "/submissions", body=simpdf)
+    print(
+        f"\nPDF submission: status={submission.status}, "
+        f"id={submission.body['id']}, title={submission.body['title']!r}, "
+        f"extracted={submission.body['extracted']}"
+    )
+
+    # 4. Corpus statistics (the Figure 1 data behind the portal).
+    stats = pipeline.app.handle("GET", "/stats").body
+    print(f"\nPortal stats: {stats}")
+
+
+if __name__ == "__main__":
+    main()

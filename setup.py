@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs on environments whose
+setuptools lacks the `wheel` package (pip install -e . --no-use-pep517).
+Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro: a full reproduction of CREATe (ICDE 2021).
+
+CREATe — Clinical Report Extraction and Annotation Technology — is an
+end-to-end system for extracting, indexing and querying clinical case
+reports.  This package reimplements the complete system in pure Python:
+the CREATe-IR core (NER, PSL-regularized temporal relation extraction,
+graph-first hybrid retrieval) and every substrate the paper's
+deployment relied on (document store, full-text search engine, property
+graph database with mini-Cypher, publication parser, web crawler, BRAT
+annotation layer, force-directed visualization and the backend API).
+
+Quickstart:
+
+    >>> from repro.pipeline import build_demo_system
+    >>> pipeline, reports = build_demo_system(n_reports=30, n_train=30)
+    >>> response = pipeline.app.handle(
+    ...     "GET", "/search", params={"q": "fever and cough"})
+    >>> response.ok
+    True
+"""
+
+from repro.pipeline import (
+    ClinicalExtractor,
+    CreatePipeline,
+    build_demo_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClinicalExtractor",
+    "CreatePipeline",
+    "build_demo_system",
+    "__version__",
+]

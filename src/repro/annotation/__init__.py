@@ -1,0 +1,43 @@
+"""BRAT standoff annotation substrate.
+
+Implements the data layer of the brat rapid annotation tool (paper
+reference [6]): text-bound annotations, relations, events and notes,
+plus parsing and serialization of the ``.ann`` standoff format and
+span algebra helpers.
+"""
+
+from repro.annotation.model import (
+    TextBound,
+    RelationAnn,
+    EventAnn,
+    AttributeAnn,
+    NoteAnn,
+    AnnotationDocument,
+)
+from repro.annotation.brat import parse_ann, serialize_ann, read_document
+from repro.annotation.agreement import AgreementReport, agreement, cohens_kappa
+from repro.annotation.spans import (
+    spans_overlap,
+    span_contains,
+    merge_overlapping,
+    align_to_tokens,
+)
+
+__all__ = [
+    "TextBound",
+    "RelationAnn",
+    "EventAnn",
+    "AttributeAnn",
+    "NoteAnn",
+    "AnnotationDocument",
+    "AgreementReport",
+    "agreement",
+    "cohens_kappa",
+    "parse_ann",
+    "serialize_ann",
+    "read_document",
+    "spans_overlap",
+    "span_contains",
+    "merge_overlapping",
+    "align_to_tokens",
+]

@@ -1,0 +1,62 @@
+"""Span algebra shared by annotation, NER evaluation and indexing."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.text.tokenize import Token
+
+
+def spans_overlap(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    """True when half-open spans ``a`` and ``b`` intersect."""
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def span_contains(outer: tuple[int, int], inner: tuple[int, int]) -> bool:
+    """True when ``outer`` fully covers ``inner``."""
+    return outer[0] <= inner[0] and inner[1] <= outer[1]
+
+
+def merge_overlapping(
+    spans: Sequence[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Merge any overlapping or touching spans into their envelopes.
+
+    The result is sorted and pairwise disjoint.
+    """
+    if not spans:
+        return []
+    ordered = sorted(spans)
+    merged = [ordered[0]]
+    for start, end in ordered[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def align_to_tokens(
+    span: tuple[int, int], tokens: Sequence[Token]
+) -> tuple[int, int] | None:
+    """Map a character span to a token-index span ``[first, last]``.
+
+    A token belongs to the span when they overlap at all (BRAT
+    annotators frequently clip leading articles mid-token).
+
+    Returns:
+        Inclusive token index bounds, or None when no token overlaps.
+    """
+    first = None
+    last = None
+    for idx, token in enumerate(tokens):
+        if token.overlaps(*span):
+            if first is None:
+                first = idx
+            last = idx
+        elif first is not None and token.start >= span[1]:
+            break
+    if first is None or last is None:
+        return None
+    return (first, last)

@@ -1,0 +1,12 @@
+"""Application facade: the library equivalent of CREATe's backend API.
+
+The demo serves a React frontend from an Express REST backend; the
+reproducible part is the request surface, implemented here as an
+in-process application with JSON request/response endpoints covering
+report submission (including the Grobid-backed PDF service), search,
+annotation management and visualization.
+"""
+
+from repro.api.app import CreateApplication, Response
+
+__all__ = ["CreateApplication", "Response"]

@@ -1,0 +1,389 @@
+"""The CREATe application: endpoints over the assembled subsystems.
+
+Routes (method, path template):
+
+* ``POST /submissions``          — submit a publication (SimPDF or TEI
+  XML); runs the Grobid service, extraction, and indexing.
+* ``GET  /reports``              — list reports (``category``, ``skip``,
+  ``limit`` params).
+* ``GET  /reports/{id}``         — one report's stored document.
+* ``GET  /reports/{id}/graph``   — its knowledge graph as JSON.
+* ``GET  /reports/{id}/svg``     — its Figure-7 SVG visualization.
+* ``GET  /reports/{id}/timeline``— its timeline SVG.
+* ``GET  /reports/{id}/ann``     — its annotations in BRAT format.
+* ``PUT  /reports/{id}/ann``     — replace annotations (validated).
+* ``GET  /search``               — CREATe-IR search (``q``, ``size``).
+* ``GET  /stats``                — corpus statistics (Figure 1 data).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.annotation.brat import parse_ann, serialize_ann
+from repro.annotation.model import AnnotationDocument
+from repro.docstore.store import DocumentStore
+from repro.exceptions import AnnotationError, ApiError, ParseError, ReproError
+from repro.grobid.service import GrobidService
+from repro.ir.indexer import CreateIrIndexer
+from repro.ir.searcher import CreateIrSearcher
+from repro.schema.validation import SchemaValidator
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.relations import THREE_WAY_ALGEBRA
+from repro.viz.svg import GraphStyle, render_graph_svg
+from repro.viz.timeline import render_timeline_svg
+
+
+@dataclass
+class Response:
+    """HTTP-like response envelope."""
+
+    status: int
+    body: Any
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+@dataclass
+class CreateApplication:
+    """The assembled application.
+
+    Args:
+        store: document store holding report metadata + text.
+        indexer: populated dual index.
+        searcher: the CREATe-IR searcher over ``indexer``.
+        grobid: publication parsing service.
+        extractor: optional callable ``(doc_id, text) ->
+            AnnotationDocument`` running NER + temporal extraction on
+            submissions (submissions index keyword-only when absent).
+    """
+
+    store: DocumentStore
+    indexer: CreateIrIndexer
+    searcher: CreateIrSearcher
+    grobid: GrobidService = field(default_factory=GrobidService)
+    extractor: Callable[[str, str], AnnotationDocument] | None = None
+    validator: SchemaValidator = field(default_factory=SchemaValidator)
+
+    def __post_init__(self) -> None:
+        self._annotations: dict[str, AnnotationDocument] = {}
+        self._routes = [
+            ("POST", re.compile(r"^/submissions$"), self._post_submission),
+            ("GET", re.compile(r"^/reports$"), self._list_reports),
+            ("GET", re.compile(r"^/reports/(?P<doc_id>[^/]+)$"), self._get_report),
+            ("GET", re.compile(r"^/reports/(?P<doc_id>[^/]+)/graph$"), self._get_graph),
+            ("GET", re.compile(r"^/reports/(?P<doc_id>[^/]+)/svg$"), self._get_svg),
+            ("GET", re.compile(r"^/reports/(?P<doc_id>[^/]+)/timeline$"), self._get_timeline),
+            ("GET", re.compile(r"^/reports/(?P<doc_id>[^/]+)/ann$"), self._get_ann),
+            ("PUT", re.compile(r"^/reports/(?P<doc_id>[^/]+)/ann$"), self._put_ann),
+            ("DELETE", re.compile(r"^/reports/(?P<doc_id>[^/]+)$"), self._delete_report),
+            ("GET", re.compile(r"^/reports/(?P<doc_id>[^/]+)/html$"), self._get_html),
+            ("GET", re.compile(r"^/search$"), self._search),
+            ("GET", re.compile(r"^/suggest$"), self._suggest),
+            ("GET", re.compile(r"^/stats$"), self._stats),
+            ("GET", re.compile(r"^/categories$"), self._categories),
+        ]
+        self._suggester = None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        params: dict | None = None,
+    ) -> Response:
+        """Route a request; never raises (errors map to status codes)."""
+        params = params or {}
+        for route_method, pattern, handler in self._routes:
+            if route_method != method.upper():
+                continue
+            match = pattern.match(path)
+            if match is None:
+                continue
+            try:
+                return handler(body=body, params=params, **match.groupdict())
+            except ApiError as exc:
+                return Response(exc.status, {"error": exc.message})
+            except ReproError as exc:
+                return Response(400, {"error": str(exc)})
+        return Response(404, {"error": f"no route for {method} {path}"})
+
+    # -- registration used by the pipeline ------------------------------------
+
+    def register_report(
+        self,
+        document: dict,
+        annotations: AnnotationDocument | None = None,
+    ) -> str:
+        """Store an already-extracted report and index it.
+
+        Returns the stored ``_id``.
+        """
+        self._suggester = None  # vocabulary changed
+        doc_id = self.store.collection("reports").insert_one(document)
+        if annotations is not None:
+            self._annotations[doc_id] = annotations
+            self.indexer.index_annotation_document(
+                doc_id, document.get("title", ""), annotations
+            )
+        else:
+            self.indexer.engine.index(
+                doc_id,
+                {
+                    "title": document.get("title", ""),
+                    "body": document.get("text", ""),
+                },
+            )
+        return doc_id
+
+    # -- handlers ------------------------------------------------------------------
+
+    def _post_submission(self, body: Any, params: dict) -> Response:
+        if not isinstance(body, str) or not body.strip():
+            raise ApiError(400, "submission body must be document content")
+        try:
+            publication = self.grobid.process(body)
+        except ParseError as exc:
+            raise ApiError(422, f"could not parse submission: {exc}") from exc
+        text = publication.body_text()
+        document = {
+            "title": publication.metadata.title,
+            "authors": publication.metadata.authors,
+            "affiliations": publication.metadata.affiliations,
+            "abstract": publication.metadata.abstract,
+            "text": text,
+            "source": "user-submission",
+        }
+        annotations = None
+        if self.extractor is not None:
+            doc_id_hint = f"sub-{self.store.collection('reports').count() + 1}"
+            annotations = self.extractor(doc_id_hint, text)
+        doc_id = self.register_report(document, annotations)
+        return Response(
+            201,
+            {
+                "id": doc_id,
+                "title": publication.metadata.title,
+                "authors": publication.metadata.authors,
+                "n_sections": len(publication.sections),
+                "extracted": annotations is not None,
+            },
+        )
+
+    def _list_reports(self, body: Any, params: dict) -> Response:
+        query = {}
+        if "category" in params:
+            query["category"] = params["category"]
+        reports = self.store.collection("reports").find(
+            query,
+            sort=[("_id", 1)],
+            skip=int(params.get("skip", 0)),
+            limit=int(params.get("limit", 20)),
+            projection=["title", "category", "year", "journal"],
+        )
+        return Response(200, {"reports": reports})
+
+    def _get_report(self, body: Any, params: dict, doc_id: str) -> Response:
+        document = self.store.collection("reports").get(doc_id)
+        if document is None:
+            raise ApiError(404, f"unknown report {doc_id}")
+        return Response(200, document)
+
+    def _get_graph(self, body: Any, params: dict, doc_id: str) -> Response:
+        self._require_report(doc_id)
+        nodes = [
+            {"nodeId": node.node_id, **node.properties}
+            for node in self.indexer.graph.find_nodes(doc_id=doc_id)
+        ]
+        node_ids = {node["nodeId"] for node in nodes}
+        edges = [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "label": edge.label,
+                "inferred": bool(edge.get("inferred", False)),
+            }
+            for edge in self.indexer.graph.edges()
+            if edge.source in node_ids
+        ]
+        return Response(200, {"nodes": nodes, "edges": edges})
+
+    def _get_svg(self, body: Any, params: dict, doc_id: str) -> Response:
+        self._require_report(doc_id)
+        svg = render_graph_svg(
+            self.indexer.graph,
+            GraphStyle(),
+            node_filter=lambda node: node.get("doc_id") == doc_id,
+        )
+        return Response(200, svg)
+
+    def _get_timeline(self, body: Any, params: dict, doc_id: str) -> Response:
+        self._require_report(doc_id)
+        graph = TemporalGraph(algebra=THREE_WAY_ALGEBRA)
+        labels = {}
+        for node in self.indexer.graph.find_nodes(doc_id=doc_id):
+            labels[node.node_id] = str(node.get("label", node.node_id))
+            for edge in self.indexer.graph.out_edges(node.node_id):
+                if edge.label in ("BEFORE", "OVERLAP"):
+                    try:
+                        graph.add(edge.source, edge.target, edge.label)
+                    except ReproError:
+                        continue
+        return Response(200, render_timeline_svg(graph, labels))
+
+    def _get_ann(self, body: Any, params: dict, doc_id: str) -> Response:
+        annotations = self._annotations.get(doc_id)
+        if annotations is None:
+            raise ApiError(404, f"no annotations for {doc_id}")
+        return Response(200, serialize_ann(annotations))
+
+    def _put_ann(self, body: Any, params: dict, doc_id: str) -> Response:
+        document = self._require_report(doc_id)
+        if not isinstance(body, str):
+            raise ApiError(400, "annotation body must be .ann content")
+        try:
+            annotations = parse_ann(doc_id, document.get("text", ""), body)
+        except AnnotationError as exc:
+            raise ApiError(422, f"bad annotations: {exc}") from exc
+        issues = self.validator.validate(annotations)
+        if issues:
+            return Response(
+                422,
+                {
+                    "error": "schema violations",
+                    "issues": [
+                        {"ann_id": issue.ann_id, "code": issue.code}
+                        for issue in issues
+                    ],
+                },
+            )
+        self._annotations[doc_id] = annotations
+        return Response(200, {"id": doc_id, "spans": len(annotations.textbounds)})
+
+    def _delete_report(self, body: Any, params: dict, doc_id: str) -> Response:
+        self._require_report(doc_id)
+        self.store.collection("reports").delete_one({"_id": doc_id})
+        self.indexer.engine.delete(doc_id)
+        for node in self.indexer.graph.find_nodes(doc_id=doc_id):
+            self.indexer.graph.remove_node(node.node_id)
+        self._annotations.pop(doc_id, None)
+        self._suggester = None  # vocabulary changed
+        return Response(200, {"deleted": doc_id})
+
+    def _search(self, body: Any, params: dict) -> Response:
+        query = params.get("q", "")
+        if not query:
+            raise ApiError(400, "missing query parameter q")
+        size = int(params.get("size", 10))
+        want_highlight = str(params.get("highlight", "")).lower() in (
+            "1",
+            "true",
+            "yes",
+        )
+        results = self.searcher.search(query, size=size)
+        rows = []
+        for result in results:
+            row = {
+                "id": result.doc_id,
+                "score": result.score,
+                "engine": result.engine,
+            }
+            if want_highlight:
+                row["highlights"] = self.indexer.engine.highlight(
+                    result.doc_id, "body", query
+                )
+            rows.append(row)
+        return Response(200, {"query": query, "results": rows})
+
+    def _stats(self, body: Any, params: dict) -> Response:
+        reports = self.store.collection("reports")
+        by_category = {
+            category: reports.count({"category": category})
+            for category in reports.distinct("category")
+        }
+        return Response(
+            200,
+            {
+                "n_reports": len(reports),
+                "by_category": by_category,
+                "graph_nodes": self.indexer.graph.n_nodes,
+                "graph_edges": self.indexer.graph.n_edges,
+            },
+        )
+
+    def _get_html(self, body: Any, params: dict, doc_id: str) -> Response:
+        from repro.viz.report_html import render_report_html
+
+        document = self._require_report(doc_id)
+        annotations = self._annotations.get(doc_id)
+        if annotations is None:
+            raise ApiError(404, f"no annotations for {doc_id}")
+        html = render_report_html(
+            annotations,
+            title=document.get("title", ""),
+            metadata={
+                key: document[key]
+                for key in ("authors", "journal", "year", "category")
+                if document.get(key)
+            },
+        )
+        return Response(200, html)
+
+    def _suggest(self, body: Any, params: dict) -> Response:
+        from repro.search.suggest import QuerySuggester
+
+        prefix = params.get("q", "")
+        if not prefix:
+            raise ApiError(400, "missing query parameter q")
+        if self._suggester is None:
+            suggester = QuerySuggester()
+            suggester.add_from_graph(self.indexer.graph)
+            suggester.add_from_ontology(self.indexer.normalizer.ontology)
+            self._suggester = suggester
+        limit = int(params.get("size", 8))
+        return Response(
+            200,
+            {
+                "suggestions": [
+                    {"text": s.text, "weight": s.weight, "source": s.source}
+                    for s in self._suggester.suggest(prefix, limit=limit)
+                ]
+            },
+        )
+
+    def _categories(self, body: Any, params: dict) -> Response:
+        """The Figure 1 data: per-category counts and shares, computed
+        with the document store's aggregation pipeline."""
+        rows = self.store.collection("reports").aggregate(
+            [
+                {"$match": {"category": {"$exists": True}}},
+                {"$group": {"_id": "$category", "count": {"$count": 1}}},
+                {"$sort": {"count": -1}},
+            ]
+        )
+        total = sum(row["count"] for row in rows) or 1
+        return Response(
+            200,
+            {
+                "categories": [
+                    {
+                        "category": row["_id"],
+                        "count": row["count"],
+                        "share": row["count"] / total,
+                    }
+                    for row in rows
+                ]
+            },
+        )
+
+    def _require_report(self, doc_id: str) -> dict:
+        document = self.store.collection("reports").get(doc_id)
+        if document is None:
+            raise ApiError(404, f"unknown report {doc_id}")
+        return document

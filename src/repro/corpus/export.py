@@ -1,0 +1,88 @@
+"""Corpus export: BRAT directories and CoNLL sequence files.
+
+Gold (or predicted) annotation documents export to the two formats
+downstream NLP tooling consumes: brat ``.txt``/``.ann`` pairs for
+annotation tools, and CoNLL-style token-per-line files for sequence
+model training outside this library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.annotation.brat import write_document
+from repro.annotation.model import AnnotationDocument
+from repro.ner.encoding import bio_encode, spans_of_document
+from repro.text.tokenize import split_sentences, tokenize
+
+
+def export_brat_directory(
+    docs: Sequence[AnnotationDocument], directory: str | Path
+) -> int:
+    """Write every document as a brat ``.txt``/``.ann`` pair.
+
+    Returns the number of documents written.
+    """
+    directory = Path(directory)
+    for doc in docs:
+        write_document(doc, directory)
+    return len(docs)
+
+
+def to_conll(doc: AnnotationDocument) -> str:
+    """One document in CoNLL format: ``token<TAB>BIO-tag`` lines,
+    blank line between sentences."""
+    gold = spans_of_document(doc)
+    blocks = []
+    for start, end in split_sentences(doc.text):
+        sentence = doc.text[start:end]
+        tokens = [
+            token.__class__(token.text, token.start + start, token.end + start)
+            for token in tokenize(sentence)
+        ]
+        labels = bio_encode(tokens, gold)
+        blocks.append(
+            "\n".join(
+                f"{token.text}\t{label}"
+                for token, label in zip(tokens, labels)
+            )
+        )
+    return "\n\n".join(blocks) + "\n"
+
+
+def export_conll(
+    docs: Sequence[AnnotationDocument], path: str | Path
+) -> int:
+    """Write documents to one CoNLL file separated by ``-DOCSTART-``.
+
+    Returns the number of documents written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    parts = []
+    for doc in docs:
+        parts.append(f"-DOCSTART- ({doc.doc_id})\n\n{to_conll(doc)}")
+    path.write_text("\n".join(parts), encoding="utf-8")
+    return len(docs)
+
+
+def parse_conll(content: str) -> list[list[tuple[str, str]]]:
+    """Parse CoNLL content back into per-sentence (token, tag) lists.
+
+    ``-DOCSTART-`` markers are skipped; useful for round-trip checks.
+    """
+    sentences: list[list[tuple[str, str]]] = []
+    current: list[tuple[str, str]] = []
+    for line in content.splitlines():
+        line = line.rstrip()
+        if not line or line.startswith("-DOCSTART-"):
+            if current:
+                sentences.append(current)
+                current = []
+            continue
+        token, _, tag = line.partition("\t")
+        current.append((token, tag))
+    if current:
+        sentences.append(current)
+    return sentences

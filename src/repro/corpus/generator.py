@@ -1,0 +1,704 @@
+"""Deterministic synthetic case-report generator with gold annotations.
+
+Every generated :class:`CaseReport` carries three aligned layers:
+
+1. **narrative** — templated clinical prose with realistic phase
+   structure (demographics → presentation → workup → diagnosis →
+   treatment → course → outcome);
+2. **gold annotations** — a BRAT :class:`AnnotationDocument` whose spans
+   were recorded *while rendering*, so offsets are exact by
+   construction, with temporal and MODIFY/IDENTICAL relations;
+3. **gold timeline** — interval placements for every event, from which
+   all pairwise temporal relations (and their transitive closure)
+   derive consistently.
+
+Templates vary phrasing and temporal cue words so extraction models
+have real signal to learn and real ambiguity to resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.annotation.model import AnnotationDocument
+from repro.corpus.lexicon import LEXICON, Lexicon
+from repro.corpus.timeline import ClinicalEvent, Timeline
+from repro.schema.types import EntityType, EventType, RelationType
+
+_FIRST_NAMES = [
+    "Wei", "Maria", "James", "Aisha", "Hiroshi", "Elena", "Samuel",
+    "Priya", "Carlos", "Ingrid", "Yusuf", "Hannah",
+]
+_LAST_NAMES = [
+    "Chen", "Garcia", "Smith", "Okafor", "Tanaka", "Petrov", "Johnson",
+    "Sharma", "Martinez", "Larsen", "Demir", "Weber",
+]
+_JOURNALS = [
+    "Journal of Cardiology Case Reports",
+    "Clinical Case Reports",
+    "BMC Cardiovascular Disorders",
+    "European Heart Journal Case Reports",
+    "Case Reports in Medicine",
+    "Oxford Medical Case Reports",
+]
+
+
+@dataclass
+class CaseReport:
+    """A complete synthetic case report.
+
+    Attributes:
+        report_id: stable identifier (also the BRAT doc id).
+        pmid: synthetic PubMed id.
+        title / authors / journal / year: publication metadata.
+        category: Figure-1 disease category.
+        area: CVD sub-area when category == "cardiovascular", else None.
+        mesh_terms: synthetic MeSH-like terms.
+        text: the full narrative.
+        sections: ``(name, start, end)`` spans over ``text``.
+        annotations: gold BRAT document.
+        timeline: gold event timeline.
+    """
+
+    report_id: str
+    pmid: str
+    title: str
+    authors: list[str]
+    journal: str
+    year: int
+    category: str
+    area: str | None
+    mesh_terms: list[str]
+    text: str
+    sections: list[tuple[str, int, int]]
+    annotations: AnnotationDocument
+    timeline: Timeline
+
+    def to_document(self) -> dict:
+        """JSON-ready metadata record for the document store."""
+        return {
+            "_id": self.report_id,
+            "pmid": self.pmid,
+            "title": self.title,
+            "authors": self.authors,
+            "journal": self.journal,
+            "year": self.year,
+            "category": self.category,
+            "area": self.area,
+            "mesh_terms": self.mesh_terms,
+            "text": self.text,
+            "sections": [
+                {"name": name, "start": start, "end": end}
+                for name, start, end in self.sections
+            ],
+        }
+
+
+class _Builder:
+    """Accumulates narrative text while recording exact span offsets."""
+
+    def __init__(self, doc_id: str):
+        self.parts: list[str] = []
+        self.offset = 0
+        self.doc = AnnotationDocument(doc_id=doc_id, text="")
+        self.pending_spans: list[tuple[str, int, int]] = []
+        self.timeline = Timeline()
+        self._event_seq = 0
+
+    def literal(self, text: str) -> None:
+        self.parts.append(text)
+        self.offset += len(text)
+
+    def entity(self, text: str, label: str) -> str:
+        """Append ``text`` and record an entity span; returns a span key."""
+        start = self.offset
+        self.literal(text)
+        key = f"span{len(self.pending_spans)}"
+        self.pending_spans.append((label, start, self.offset))
+        return key
+
+    def event(
+        self, text: str, label: str, t_start: float, t_end: float
+    ) -> str:
+        """Append ``text``, record the span AND a timeline event."""
+        key = self.entity(text, label)
+        self._event_seq += 1
+        self.timeline.add(
+            ClinicalEvent(key, text, label, t_start, t_end)
+        )
+        return key
+
+    def finish(self) -> tuple[AnnotationDocument, Timeline, dict[str, str]]:
+        """Materialize the document; returns (doc, timeline, key->T-id)."""
+        self.doc.text = "".join(self.parts)
+        key_to_id: dict[str, str] = {}
+        for idx, (label, start, end) in enumerate(self.pending_spans):
+            tb = self.doc.add_textbound(label, start, end)
+            key_to_id[f"span{idx}"] = tb.ann_id
+        return self.doc, self.timeline, key_to_id
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs controlling report shape and difficulty.
+
+    ``cue_noise`` is the probability that a sentence uses an ambiguous
+    connective (e.g. "and", "additionally") instead of one that reveals
+    the temporal relation ("followed by", "at the same time") — the
+    lever that makes local relation classification genuinely uncertain
+    and global consistency reasoning valuable.
+    """
+
+    extra_symptom_prob: float = 0.5
+    occupation_prob: float = 0.35
+    history_prob: float = 0.7
+    structure_prob: float = 0.4
+    complication_prob: float = 0.55
+    second_workup_prob: float = 0.45
+    therapeutic_procedure_prob: float = 0.4
+    distractor_prob: float = 0.3
+    identical_prob: float = 0.5
+    cue_noise: float = 0.25
+    second_course_event_prob: float = 0.5
+    negated_finding_prob: float = 0.35
+
+
+_DISTRACTORS = [
+    "Written informed consent was obtained from the patient.",
+    "The remainder of the examination was unremarkable.",
+    "Routine laboratory tests were otherwise within normal limits.",
+    "The family agreed with the proposed management plan.",
+    "No significant findings were noted on review of systems.",
+]
+
+
+def _zipf_weights(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Zipfian probability vector over ``n`` ranked items."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def _zipf_choice(rng, seq, size=None, exponent: float = 1.0):
+    """Sample from ``seq`` with Zipfian popularity (first items common).
+
+    Clinical term frequencies are heavy-tailed — chest pain and dyspnea
+    dominate CVD case reports while rare presentations appear once — and
+    retrieval realism depends on it: frequent term pairs are what make
+    relation-aware ranking distinguishable from keyword match.
+    """
+    weights = _zipf_weights(len(seq), exponent)
+    if size is None:
+        return seq[int(rng.choice(len(seq), p=weights))]
+    indices = rng.choice(len(seq), size=size, replace=False, p=weights)
+    return [seq[int(i)] for i in indices]
+
+
+class CaseReportGenerator:
+    """Seeded generator of :class:`CaseReport` instances.
+
+    Example:
+        >>> gen = CaseReportGenerator(seed=1)
+        >>> report = gen.generate("cvd-0001", category="cardiovascular")
+        >>> report.annotations.verify()
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        lexicon: Lexicon = LEXICON,
+        config: GeneratorConfig | None = None,
+    ):
+        self._rng = np.random.default_rng(seed)
+        self._lexicon = lexicon
+        self._config = config or GeneratorConfig()
+        self._pmid_counter = 30000000 + int(self._rng.integers(0, 1000000))
+
+    # -- public API --------------------------------------------------------
+
+    def generate(
+        self, report_id: str, category: str = "cardiovascular"
+    ) -> CaseReport:
+        """Generate one report in the given Figure-1 category."""
+        rng = self._rng
+        lex = self._lexicon
+        cfg = self._config
+
+        area = None
+        if category == "cardiovascular":
+            area = str(rng.choice(sorted(lex.diseases_by_area)))
+            disease = str(_zipf_choice(rng, lex.diseases_by_area[area]))
+        else:
+            disease = str(
+                _zipf_choice(rng, lex.diseases_for_category(category))
+            )
+
+        age = int(rng.integers(18, 92))
+        sex_word, pronoun_subj, pronoun_poss = (
+            ("woman", "She", "her")
+            if rng.random() < 0.5
+            else ("man", "He", "his")
+        )
+        symptoms = [
+            str(s) for s in _zipf_choice(rng, lex.sign_symptoms, size=4)
+        ]
+        medication = str(_zipf_choice(rng, lex.medications))
+        diag_proc = str(_zipf_choice(rng, lex.diagnostic_procedures))
+        second_proc = str(_zipf_choice(rng, lex.diagnostic_procedures))
+        lab_value = str(_zipf_choice(rng, lex.lab_values))
+        location = str(rng.choice(lex.locations))
+        severity = str(rng.choice(lex.severities))
+        outcome = str(rng.choice(lex.outcomes))
+
+        builder = _Builder(report_id)
+        sections: list[tuple[str, int, int]] = []
+        relations: list[tuple[str, str, str]] = []  # (label, src, tgt)
+        negated_keys: list[str] = []
+
+        # ---- demographics + history (t in [-10, -1]) -------------------
+        section_start = builder.offset
+        builder.literal(f"The patient is a ")
+        builder.entity(f"{age}-year-old", EntityType.AGE.value)
+        builder.literal(" ")
+        builder.entity(sex_word, EntityType.SEX.value)
+        if rng.random() < cfg.occupation_prob:
+            builder.literal(" working as a ")
+            builder.entity(
+                str(rng.choice(lex.occupations)),
+                EntityType.OCCUPATION.value,
+            )
+        history_key = None
+        if rng.random() < cfg.history_prob:
+            builder.literal(" with ")
+            history_key = builder.event(
+                str(rng.choice(lex.history_items)),
+                EntityType.HISTORY.value,
+                -10.0,
+                -1.0,
+            )
+        builder.literal(". ")
+        sections.append(("demographics", section_start, builder.offset))
+
+        # ---- presentation (symptoms in t [0, 2]) --------------------------
+        # Variant: the second symptom either co-occurs with the first
+        # (OVERLAP) or follows it (AFTER); the connective may or may not
+        # reveal which (cue_noise), which is what makes local relation
+        # classification genuinely uncertain.
+        section_start = builder.offset
+        has_sym2 = rng.random() < cfg.extra_symptom_prob
+        sym2_sequential = has_sym2 and rng.random() < 0.5
+        sym1_interval = (0.0, 1.0) if sym2_sequential else (0.0, 2.0)
+
+        builder.literal(f"{pronoun_subj} presented to ")
+        builder.entity(location, EntityType.NONBIOLOGICAL_LOCATION.value)
+        builder.literal(" with ")
+        sev_key = builder.entity(severity, EntityType.SEVERITY.value)
+        builder.literal(" ")
+        sym1_key = builder.event(
+            symptoms[0], EventType.SIGN_SYMPTOM.value, *sym1_interval
+        )
+        relations.append((RelationType.MODIFY.value, sev_key, sym1_key))
+        sym2_key = None
+        if has_sym2:
+            if rng.random() < cfg.cue_noise:
+                connective = " and "
+            elif sym2_sequential:
+                connective = str(
+                    rng.choice(
+                        [
+                            " followed by ",
+                            " and subsequently ",
+                            " and later ",
+                            " progressing to ",
+                        ]
+                    )
+                )
+            else:
+                connective = str(
+                    rng.choice(
+                        [
+                            " accompanied by ",
+                            " together with ",
+                            " in conjunction with ",
+                            " along with ",
+                        ]
+                    )
+                )
+            builder.literal(connective)
+            sym2_interval = (1.4, 2.0) if sym2_sequential else (0.0, 2.0)
+            sym2_key = builder.event(
+                symptoms[1], EventType.SIGN_SYMPTOM.value, *sym2_interval
+            )
+        builder.literal(". ")
+        if history_key is not None:
+            relations.append(
+                (RelationType.BEFORE.value, history_key, sym1_key)
+            )
+        if sym2_key is not None:
+            if sym2_sequential:
+                relations.append(
+                    (RelationType.AFTER.value, sym2_key, sym1_key)
+                )
+            else:
+                relations.append(
+                    (RelationType.OVERLAP.value, sym1_key, sym2_key)
+                )
+        # Denied finding: annotated as a negated mention (not a
+        # timeline event) — retrieval must not treat it as positive.
+        if rng.random() < cfg.negated_finding_prob:
+            builder.literal(f"{pronoun_subj} denied ")
+            denied_key = builder.entity(
+                symptoms[3], EventType.SIGN_SYMPTOM.value
+            )
+            builder.literal(". ")
+            negated_keys.append(denied_key)
+        if rng.random() < cfg.distractor_prob:
+            builder.literal(str(rng.choice(_DISTRACTORS)) + " ")
+        sections.append(("presentation", section_start, builder.offset))
+
+        # ---- workup (t in [2.5, 4]) ----------------------------------------
+        section_start = builder.offset
+        proc_key = builder.event(
+            diag_proc.capitalize(),
+            EventType.DIAGNOSTIC_PROCEDURE.value,
+            2.5,
+            3.0,
+        )
+        builder.literal(" on admission revealed ")
+        lab_key = builder.event(
+            lab_value, EventType.LAB_VALUE.value, 2.5, 3.0
+        )
+        if rng.random() < cfg.structure_prob:
+            builder.literal(" involving the ")
+            struct_key = builder.entity(
+                str(rng.choice(lex.biological_structures)),
+                EntityType.BIOLOGICAL_STRUCTURE.value,
+            )
+            relations.append(
+                (RelationType.MODIFY.value, struct_key, lab_key)
+            )
+        builder.literal(". ")
+        anchor = sym2_key or sym1_key
+        relations.append((RelationType.AFTER.value, proc_key, anchor))
+        relations.append((RelationType.OVERLAP.value, proc_key, lab_key))
+
+        # Variant: the second workup happens after the first or
+        # concurrently with it.
+        second_proc_key = None
+        if rng.random() < cfg.second_workup_prob and second_proc != diag_proc:
+            proc2_concurrent = rng.random() < 0.5
+            if rng.random() < cfg.cue_noise:
+                opener = "Additionally, "
+            elif proc2_concurrent:
+                opener = str(
+                    rng.choice(
+                        [
+                            "At the same time, ",
+                            "Concurrently, ",
+                            "In parallel, ",
+                            "Simultaneously, ",
+                        ]
+                    )
+                )
+            else:
+                opener = str(
+                    rng.choice(
+                        [
+                            "Subsequently, ",
+                            "Afterwards, ",
+                            "Following this, ",
+                            "Thereafter, ",
+                        ]
+                    )
+                )
+            builder.literal(opener)
+            # Concurrent second workup shares the first's midpoint
+            # (OVERLAP) while nesting inside it (INCLUDES in dense terms).
+            proc2_interval = (2.6, 2.9) if proc2_concurrent else (3.4, 4.0)
+            second_proc_key = builder.event(
+                second_proc,
+                EventType.DIAGNOSTIC_PROCEDURE.value,
+                *proc2_interval,
+            )
+            builder.literal(" was performed. ")
+            if proc2_concurrent:
+                relations.append(
+                    (RelationType.OVERLAP.value, second_proc_key, proc_key)
+                )
+            else:
+                relations.append(
+                    (RelationType.AFTER.value, second_proc_key, proc_key)
+                )
+        sections.append(("workup", section_start, builder.offset))
+
+        # ---- diagnosis (t in [4.4, 5]) ----------------------------------------
+        section_start = builder.offset
+        builder.literal(f"{pronoun_subj} was diagnosed with ")
+        dx_key = builder.event(
+            disease, EventType.DISEASE_DISORDER.value, 4.4, 5.0
+        )
+        builder.literal(". ")
+        last_workup = second_proc_key or proc_key
+        relations.append((RelationType.AFTER.value, dx_key, last_workup))
+        sections.append(("diagnosis", section_start, builder.offset))
+
+        # ---- treatment (t in [5.5, 8]) ------------------------------------------
+        section_start = builder.offset
+        builder.literal("Treatment with ")
+        med_key = builder.event(
+            medication, EventType.MEDICATION.value, 5.5, 7.5
+        )
+        builder.literal(" ")
+        dose_key = builder.entity(
+            str(rng.choice(lex.dosages)), EntityType.DOSAGE.value
+        )
+        relations.append((RelationType.MODIFY.value, dose_key, med_key))
+        builder.literal(" was initiated. ")
+        relations.append((RelationType.AFTER.value, med_key, dx_key))
+
+        # Variant: the procedure happens during the medication course
+        # (OVERLAP / INCLUDES) or after it completes (AFTER).
+        ther_key = None
+        ther_during = False
+        if rng.random() < cfg.therapeutic_procedure_prob:
+            ther_during = rng.random() < 0.5
+            if rng.random() < cfg.cue_noise:
+                builder.literal(f"{pronoun_subj} also underwent ")
+            elif ther_during:
+                opener = str(
+                    rng.choice(
+                        [
+                            "During the medication course, ",
+                            "While on therapy, ",
+                            "In the midst of treatment, ",
+                        ]
+                    )
+                )
+                builder.literal(
+                    f"{opener}{pronoun_subj.lower()} underwent "
+                )
+            else:
+                opener = str(
+                    rng.choice(
+                        [
+                            "After completing the course, ",
+                            "Once therapy concluded, ",
+                            "Having completed treatment, ",
+                        ]
+                    )
+                )
+                builder.literal(
+                    f"{opener}{pronoun_subj.lower()} underwent "
+                )
+            ther_interval = (6.0, 7.0) if ther_during else (7.7, 7.9)
+            ther_key = builder.event(
+                str(rng.choice(lex.therapeutic_procedures)),
+                EventType.THERAPEUTIC_PROCEDURE.value,
+                *ther_interval,
+            )
+            builder.literal(". ")
+            if ther_during:
+                relations.append(
+                    (RelationType.OVERLAP.value, ther_key, med_key)
+                )
+            else:
+                relations.append(
+                    (RelationType.AFTER.value, ther_key, med_key)
+                )
+        sections.append(("treatment", section_start, builder.offset))
+
+        # ---- course + outcome (t in [6.4, 10]) ------------------------------------
+        section_start = builder.offset
+        comp_key = None
+        if rng.random() < cfg.complication_prob:
+            comp_during = rng.random() < 0.5
+            date_key = None
+            if rng.random() < cfg.cue_noise:
+                builder.literal("Notably")
+            elif comp_during:
+                builder.literal(
+                    str(
+                        rng.choice(
+                            [
+                                "During treatment",
+                                "While on treatment",
+                                "Amid ongoing therapy",
+                            ]
+                        )
+                    )
+                )
+            else:
+                date_key_text = str(rng.choice(lex.dates))
+                date_key = builder.entity(
+                    date_key_text[0].upper() + date_key_text[1:],
+                    EntityType.DATE.value,
+                )
+            builder.literal(", ")
+            builder.literal(f"{pronoun_subj.lower()} developed ")
+            # "During treatment" shares the medication midpoint (6.5).
+            comp_interval = (6.2, 6.8) if comp_during else (8.1, 8.6)
+            comp_key = builder.event(
+                symptoms[2], EventType.SIGN_SYMPTOM.value, *comp_interval
+            )
+            builder.literal(". ")
+            if date_key is not None:
+                relations.append(
+                    (RelationType.MODIFY.value, date_key, comp_key)
+                )
+            if comp_during:
+                relations.append(
+                    (RelationType.OVERLAP.value, comp_key, med_key)
+                )
+            else:
+                relations.append(
+                    (RelationType.AFTER.value, comp_key, med_key)
+                )
+            # Variant: a second course event follows or co-occurs with
+            # the complication, adding another relation triangle.
+            if rng.random() < cfg.second_course_event_prob:
+                comp2_follows = rng.random() < 0.5
+                if rng.random() < cfg.cue_noise:
+                    builder.literal("In addition, ")
+                elif comp2_follows:
+                    builder.literal(
+                        str(
+                            rng.choice(
+                                [
+                                    "Shortly thereafter, ",
+                                    "Soon afterward, ",
+                                    "Not long after, ",
+                                ]
+                            )
+                        )
+                    )
+                else:
+                    builder.literal(
+                        str(
+                            rng.choice(
+                                ["At the same time, ", "Concurrently, "]
+                            )
+                        )
+                    )
+                if comp2_follows:
+                    comp2_interval = (
+                        comp_interval[1] + 0.15,
+                        comp_interval[1] + 0.3,
+                    )
+                else:
+                    # Same midpoint as the complication (OVERLAP) while
+                    # strictly containing it (IS_INCLUDED in dense terms).
+                    comp2_interval = (
+                        comp_interval[0] - 0.1,
+                        comp_interval[1] + 0.1,
+                    )
+                comp2_key = builder.event(
+                    str(_zipf_choice(rng, lex.sign_symptoms)),
+                    EventType.SIGN_SYMPTOM.value,
+                    *comp2_interval,
+                )
+                builder.literal(" was noted. ")
+                if comp2_follows:
+                    relations.append(
+                        (RelationType.AFTER.value, comp2_key, comp_key)
+                    )
+                else:
+                    relations.append(
+                        (RelationType.OVERLAP.value, comp2_key, comp_key)
+                    )
+        builder.literal("The patient ")
+        outcome_key = builder.event(
+            outcome, EventType.OUTCOME.value, 9.0, 10.0
+        )
+        builder.literal(".")
+        prev = comp_key or ther_key or med_key
+        relations.append((RelationType.AFTER.value, outcome_key, prev))
+        # Occasionally restate the disease (IDENTICAL anaphora).
+        if rng.random() < cfg.identical_prob:
+            builder.literal(f" This case of ")
+            dx2_key = builder.event(
+                disease, EventType.DISEASE_DISORDER.value, 4.4, 5.0
+            )
+            builder.literal(" highlights the value of early recognition.")
+            relations.append((RelationType.IDENTICAL.value, dx2_key, dx_key))
+        sections.append(("outcome", section_start, builder.offset))
+
+        doc, timeline, key_to_id = builder.finish()
+        for label, src_key, tgt_key in relations:
+            doc.add_relation(label, key_to_id[src_key], key_to_id[tgt_key])
+        for key in negated_keys:
+            doc.add_attribute("Negated", key_to_id[key])
+        # Rewrite timeline ids from builder keys to BRAT T-ids.
+        timeline.events = [
+            ClinicalEvent(
+                key_to_id[event.event_id],
+                event.surface,
+                event.label,
+                event.t_start,
+                event.t_end,
+            )
+            for event in timeline.events
+        ]
+        doc.verify()
+
+        title = self._make_title(disease, symptoms[0])
+        authors = self._make_authors()
+        self._pmid_counter += int(rng.integers(1, 50))
+        return CaseReport(
+            report_id=report_id,
+            pmid=str(self._pmid_counter),
+            title=title,
+            authors=authors,
+            journal=str(rng.choice(_JOURNALS)),
+            year=int(rng.integers(2012, 2021)),
+            category=category,
+            area=area,
+            mesh_terms=self._mesh_terms(category, disease),
+            text=doc.text,
+            sections=sections,
+            annotations=doc,
+            timeline=timeline,
+        )
+
+    def generate_many(
+        self, n: int, categories: list[str] | None = None, prefix: str = "cr"
+    ) -> list[CaseReport]:
+        """Generate ``n`` reports, cycling the provided category list."""
+        reports = []
+        for i in range(n):
+            category = (
+                categories[i % len(categories)]
+                if categories
+                else "cardiovascular"
+            )
+            reports.append(
+                self.generate(f"{prefix}-{i:05d}", category=category)
+            )
+        return reports
+
+    # -- metadata helpers ----------------------------------------------------
+
+    def _make_title(self, disease: str, symptom: str) -> str:
+        patterns = [
+            f"A case of {disease} presenting with {symptom}",
+            f"{disease.capitalize()} manifesting as {symptom}: a case report",
+            f"An unusual presentation of {disease}",
+            f"{symptom.capitalize()} as the initial manifestation of {disease}",
+        ]
+        return str(self._rng.choice(patterns))
+
+    def _make_authors(self) -> list[str]:
+        n_authors = int(self._rng.integers(2, 6))
+        authors = []
+        for _ in range(n_authors):
+            first = str(self._rng.choice(_FIRST_NAMES))
+            last = str(self._rng.choice(_LAST_NAMES))
+            authors.append(f"{first} {last}")
+        return authors
+
+    def _mesh_terms(self, category: str, disease: str) -> list[str]:
+        terms = ["Case Reports", category.title(), disease.title()]
+        if category == "cardiovascular":
+            terms.append("Cardiovascular Diseases")
+        return terms

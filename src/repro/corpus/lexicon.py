@@ -1,0 +1,307 @@
+"""Clinical vocabularies backing the synthetic corpus generator.
+
+Terms are grouped by the typing-schema label they instantiate.  The
+cardiovascular inventory follows the paper's six CVD query areas
+(cardiomyopathy, ischemic heart disease, cerebrovascular accidents,
+arrhythmias, congenital heart disease, valve disease); non-CVD
+categories exist to reproduce the Figure 1 distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+SIGN_SYMPTOMS = [
+    "chest pain", "dyspnea", "shortness of breath", "palpitations",
+    "syncope", "fatigue", "peripheral edema", "orthopnea", "fever",
+    "cough", "nasal congestion", "dizziness", "nausea", "vomiting",
+    "diaphoresis", "cyanosis", "hemoptysis", "bradycardia",
+    "tachycardia", "hypotension", "hypertension", "headache",
+    "blurred vision", "weakness", "numbness", "slurred speech",
+    "confusion", "chest tightness", "leg swelling", "weight gain",
+    "night sweats", "exertional dyspnea", "abdominal pain",
+    "jugular venous distension", "irregular heartbeat", "murmur",
+    "pallor", "claudication", "paresthesia", "malaise",
+    "respiratory distress", "wheezing", "pleuritic pain",
+    "lightheadedness", "anorexia", "pre-syncope", "ankle edema",
+]
+
+DISEASES_BY_AREA = {
+    "cardiomyopathy": [
+        "dilated cardiomyopathy", "hypertrophic cardiomyopathy",
+        "restrictive cardiomyopathy", "takotsubo cardiomyopathy",
+        "arrhythmogenic right ventricular cardiomyopathy",
+        "peripartum cardiomyopathy", "ischemic cardiomyopathy",
+    ],
+    "ischemic heart disease": [
+        "myocardial infarction", "unstable angina",
+        "coronary artery disease", "acute coronary syndrome",
+        "stable angina pectoris", "coronary vasospasm",
+        "silent myocardial ischemia",
+    ],
+    "cerebrovascular accidents": [
+        "ischemic stroke", "hemorrhagic stroke",
+        "transient ischemic attack", "subarachnoid hemorrhage",
+        "cerebral venous thrombosis", "lacunar infarct",
+    ],
+    "arrhythmias": [
+        "atrial fibrillation", "atrial flutter",
+        "ventricular tachycardia", "ventricular fibrillation",
+        "supraventricular tachycardia", "sick sinus syndrome",
+        "complete heart block", "long QT syndrome",
+        "Wolff-Parkinson-White syndrome", "brugada syndrome",
+    ],
+    "congenital heart disease": [
+        "atrial septal defect", "ventricular septal defect",
+        "tetralogy of Fallot", "patent ductus arteriosus",
+        "coarctation of the aorta", "transposition of the great arteries",
+        "Ebstein anomaly",
+    ],
+    "valve disease": [
+        "aortic stenosis", "mitral regurgitation", "mitral stenosis",
+        "aortic regurgitation", "tricuspid regurgitation",
+        "infective endocarditis", "mitral valve prolapse",
+        "bicuspid aortic valve",
+    ],
+}
+
+NON_CVD_DISEASES = {
+    "cancer": [
+        "non-small cell lung cancer", "breast carcinoma",
+        "colorectal adenocarcinoma", "hepatocellular carcinoma",
+        "pancreatic cancer", "diffuse large B-cell lymphoma",
+        "acute myeloid leukemia", "renal cell carcinoma",
+    ],
+    "infectious disease": [
+        "COVID-19", "community-acquired pneumonia", "tuberculosis",
+        "bacterial meningitis", "infectious mononucleosis",
+        "urinary tract infection", "sepsis",
+    ],
+    "neurology": [
+        "multiple sclerosis", "myasthenia gravis",
+        "Guillain-Barre syndrome", "temporal lobe epilepsy",
+        "Parkinson disease",
+    ],
+    "gastroenterology": [
+        "Crohn disease", "ulcerative colitis", "acute pancreatitis",
+        "cirrhosis", "peptic ulcer disease",
+    ],
+    "respiratory": [
+        "pulmonary embolism", "chronic obstructive pulmonary disease",
+        "idiopathic pulmonary fibrosis", "asthma exacerbation",
+    ],
+    "endocrinology": [
+        "diabetic ketoacidosis", "thyroid storm", "Addison disease",
+        "Cushing syndrome",
+    ],
+    "nephrology": [
+        "acute kidney injury", "nephrotic syndrome",
+        "IgA nephropathy",
+    ],
+    "other": [
+        "systemic lupus erythematosus", "rheumatoid arthritis",
+        "sarcoidosis", "amyloidosis",
+    ],
+}
+
+MEDICATIONS = [
+    "aspirin", "metoprolol", "amiodarone", "warfarin", "apixaban",
+    "atorvastatin", "lisinopril", "furosemide", "spironolactone",
+    "clopidogrel", "heparin", "digoxin", "diltiazem", "carvedilol",
+    "nitroglycerin", "dobutamine", "enoxaparin", "rivaroxaban",
+    "sacubitril-valsartan", "ivabradine", "flecainide", "sotalol",
+    "hydrochlorothiazide", "amlodipine", "prednisone",
+    "glucocorticoids", "ceftriaxone", "azithromycin", "vancomycin",
+    "remdesivir", "insulin", "morphine", "dopamine", "norepinephrine",
+]
+
+DIAGNOSTIC_PROCEDURES = [
+    "electrocardiogram", "transthoracic echocardiogram",
+    "transesophageal echocardiogram", "cardiac MRI",
+    "coronary angiography", "chest X-ray", "computed tomography",
+    "CT angiography", "troponin assay", "complete blood count",
+    "blood culture", "cardiac catheterization", "Holter monitoring",
+    "exercise stress test", "carotid ultrasound", "chest CT",
+    "lumbar puncture", "electroencephalogram", "antibody test",
+    "polymerase chain reaction test", "D-dimer assay",
+    "brain natriuretic peptide assay", "genetic testing",
+    "endomyocardial biopsy", "pulmonary function testing",
+]
+
+THERAPEUTIC_PROCEDURES = [
+    "percutaneous coronary intervention", "coronary artery bypass grafting",
+    "catheter ablation", "electrical cardioversion",
+    "implantable cardioverter-defibrillator placement",
+    "permanent pacemaker implantation", "valve replacement surgery",
+    "mitral valve repair", "thrombolysis", "mechanical thrombectomy",
+    "pericardiocentesis", "intra-aortic balloon pump support",
+    "extracorporeal membrane oxygenation", "hemodialysis",
+    "mechanical ventilation", "septal myectomy",
+    "transcatheter aortic valve replacement", "chest tube placement",
+]
+
+LAB_VALUES = [
+    "elevated troponin", "blood pressure of 90/60 mmHg",
+    "blood pressure of 180/110 mmHg", "heart rate of 150 bpm",
+    "heart rate of 38 bpm", "oxygen saturation of 86%",
+    "ejection fraction of 25%", "ejection fraction of 60%",
+    "white blood cell count of 18,000", "hemoglobin of 7.2 g/dL",
+    "creatinine of 3.1 mg/dL", "BNP of 2,400 pg/mL",
+    "lactate of 4.5 mmol/L", "INR of 5.8", "positive of antibody",
+    "ST-segment elevation", "QT prolongation",
+]
+
+OCCUPATIONS = [
+    "cotton farmer", "school teacher", "construction worker",
+    "retired nurse", "truck driver", "office clerk", "fisherman",
+    "software engineer", "firefighter", "professional athlete",
+    "miner", "chef",
+]
+
+HISTORY_ITEMS = [
+    "long-term use of glucocorticoids", "poorly controlled diabetes",
+    "a 30 pack-year smoking history", "chronic alcohol use",
+    "a family history of sudden cardiac death", "prior stroke",
+    "untreated hypertension", "hyperlipidemia",
+    "a previous myocardial infarction", "chronic kidney disease",
+    "recent long-haul travel", "intravenous drug use",
+]
+
+LOCATIONS = [
+    "the hospital", "the emergency department", "the intensive care unit",
+    "a rural clinic", "the cardiology ward", "a community hospital",
+    "the outpatient clinic", "a tertiary referral center",
+]
+
+SEVERITIES = ["mild", "moderate", "severe", "acute", "progressive", "worsening"]
+
+BIOLOGICAL_STRUCTURES = [
+    "left ventricle", "right atrium", "mitral valve", "aortic root",
+    "left anterior descending artery", "right coronary artery",
+    "interventricular septum", "pericardium", "carotid artery",
+    "pulmonary artery", "left atrial appendage",
+]
+
+DOSAGES = [
+    "81 mg daily", "5 mg twice daily", "200 mg loading dose",
+    "40 mg intravenously", "2.5 mg weekly", "100 mg every 8 hours",
+]
+
+DURATIONS = [
+    "two weeks", "three days", "six months", "48 hours",
+    "one year", "ten days", "several hours",
+]
+
+DATES = [
+    "on hospital day 3", "a day later", "two days later",
+    "one week later", "on the following morning", "within hours",
+    "three weeks after discharge", "on admission",
+]
+
+OUTCOMES = [
+    "made a full recovery", "was discharged home", "died",
+    "was transferred to a rehabilitation facility",
+    "remained asymptomatic at follow-up",
+    "died of respiratory failure", "recovered with residual weakness",
+]
+
+CVD_AREAS = sorted(DISEASES_BY_AREA)
+
+
+@dataclass(frozen=True)
+class Lexicon:
+    """Immutable bundle of every term list, keyed access by schema label."""
+
+    sign_symptoms: tuple[str, ...] = tuple(SIGN_SYMPTOMS)
+    diseases_by_area: dict = field(
+        default_factory=lambda: {
+            area: tuple(terms) for area, terms in DISEASES_BY_AREA.items()
+        }
+    )
+    non_cvd_diseases: dict = field(
+        default_factory=lambda: {
+            cat: tuple(terms) for cat, terms in NON_CVD_DISEASES.items()
+        }
+    )
+    medications: tuple[str, ...] = tuple(MEDICATIONS)
+    diagnostic_procedures: tuple[str, ...] = tuple(DIAGNOSTIC_PROCEDURES)
+    therapeutic_procedures: tuple[str, ...] = tuple(THERAPEUTIC_PROCEDURES)
+    lab_values: tuple[str, ...] = tuple(LAB_VALUES)
+    occupations: tuple[str, ...] = tuple(OCCUPATIONS)
+    history_items: tuple[str, ...] = tuple(HISTORY_ITEMS)
+    locations: tuple[str, ...] = tuple(LOCATIONS)
+    severities: tuple[str, ...] = tuple(SEVERITIES)
+    biological_structures: tuple[str, ...] = tuple(BIOLOGICAL_STRUCTURES)
+    dosages: tuple[str, ...] = tuple(DOSAGES)
+    durations: tuple[str, ...] = tuple(DURATIONS)
+    dates: tuple[str, ...] = tuple(DATES)
+    outcomes: tuple[str, ...] = tuple(OUTCOMES)
+
+    def restricted(self, fraction: float) -> "Lexicon":
+        """A lexicon keeping only the first ``fraction`` of each list.
+
+        Used to build *lexical holdout* splits: training documents are
+        generated from the restricted lexicon while test documents use
+        the full one, so test text contains entity surfaces never seen
+        in training — the regime where contextual/subword models earn
+        their advantage over memorization.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+
+        def cut(seq: tuple[str, ...]) -> tuple[str, ...]:
+            keep = max(1, int(len(seq) * fraction))
+            return tuple(seq[:keep])
+
+        return Lexicon(
+            sign_symptoms=cut(self.sign_symptoms),
+            diseases_by_area={
+                area: cut(terms)
+                for area, terms in self.diseases_by_area.items()
+            },
+            non_cvd_diseases={
+                cat: cut(terms)
+                for cat, terms in self.non_cvd_diseases.items()
+            },
+            medications=cut(self.medications),
+            diagnostic_procedures=cut(self.diagnostic_procedures),
+            therapeutic_procedures=cut(self.therapeutic_procedures),
+            lab_values=cut(self.lab_values),
+            occupations=cut(self.occupations),
+            history_items=cut(self.history_items),
+            locations=cut(self.locations),
+            severities=cut(self.severities),
+            biological_structures=cut(self.biological_structures),
+            dosages=cut(self.dosages),
+            durations=cut(self.durations),
+            dates=cut(self.dates),
+            outcomes=cut(self.outcomes),
+        )
+
+    def all_diseases(self) -> list[str]:
+        """Every disease term across CVD areas and non-CVD categories."""
+        out: list[str] = []
+        for terms in self.diseases_by_area.values():
+            out.extend(terms)
+        for terms in self.non_cvd_diseases.values():
+            out.extend(terms)
+        return out
+
+    def diseases_for_category(self, category: str) -> tuple[str, ...]:
+        """Disease terms for a Figure-1 category name.
+
+        ``"cardiovascular"`` pools all six CVD areas; other categories
+        index :data:`NON_CVD_DISEASES`.
+        """
+        if category == "cardiovascular":
+            pooled: list[str] = []
+            for terms in self.diseases_by_area.values():
+                pooled.extend(terms)
+            return tuple(pooled)
+        return self.non_cvd_diseases.get(
+            category, self.non_cvd_diseases["other"]
+        )
+
+
+LEXICON = Lexicon()

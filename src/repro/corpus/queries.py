@@ -1,0 +1,218 @@
+"""IR query workload with gold relevance judgements.
+
+Queries are phrased like the paper's running example ("A patient was
+admitted to the hospital because of fever and cough") and come in three
+families: co-occurring symptoms (OVERLAP), ordered event pairs
+(BEFORE/AFTER), and disease+treatment pairs.  Relevance is *derived
+from gold annotations*, never from any system output:
+
+* grade 2 — the document mentions every query concept AND its gold
+  timeline realizes the queried temporal relation;
+* grade 1 — the document mentions every query concept (any ordering);
+* grade 0 — otherwise.
+
+This grading is exactly the axis on which CREATe-IR should beat the
+keyword baseline: both engines can find grade-1 documents, only
+relation-aware search can prefer grade-2 ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.generator import CaseReport
+from repro.schema.types import EventType
+
+
+@dataclass(frozen=True, slots=True)
+class QueryConcept:
+    """One concept mentioned by a query."""
+
+    surface: str
+    entity_type: str
+
+
+@dataclass
+class QueryCase:
+    """A natural-language query with structure and judgements.
+
+    Attributes:
+        query_id: workload-unique id.
+        text: the natural-language query string.
+        concepts: the concepts a perfect parser would extract.
+        relation: optional ``(src_idx, tgt_idx, label)`` over concepts.
+        judgements: doc_id -> grade (2 relational match, 1 bag match).
+    """
+
+    query_id: str
+    text: str
+    concepts: list[QueryConcept]
+    relation: tuple[int, int, str] | None
+    judgements: dict[str, int] = field(default_factory=dict)
+
+    def relevant_ids(self, min_grade: int = 1) -> frozenset[str]:
+        """Doc ids judged at or above ``min_grade``."""
+        return frozenset(
+            doc_id
+            for doc_id, grade in self.judgements.items()
+            if grade >= min_grade
+        )
+
+
+def _doc_mentions(report: CaseReport, surface: str) -> list[str]:
+    """T-ids of gold spans whose text matches ``surface`` (case-fold)."""
+    needle = surface.lower()
+    return [
+        tb.ann_id
+        for tb in report.annotations.textbounds.values()
+        if tb.text.lower() == needle
+    ]
+
+
+def _relation_holds(
+    report: CaseReport, src_surface: str, tgt_surface: str, label: str
+) -> bool:
+    """Does the gold timeline realize ``label`` between the surfaces?"""
+    src_ids = set(_doc_mentions(report, src_surface))
+    tgt_ids = set(_doc_mentions(report, tgt_surface))
+    if not src_ids or not tgt_ids:
+        return False
+    for a_id, b_id, rel in report.timeline.all_pairs():
+        if a_id in src_ids and b_id in tgt_ids and rel == label:
+            return True
+        # all_pairs orders by narrative position; check the flip too.
+        if a_id in tgt_ids and b_id in src_ids:
+            flipped = {"BEFORE": "AFTER", "AFTER": "BEFORE"}.get(rel, rel)
+            if flipped == label:
+                return True
+    return False
+
+
+def _judge(
+    reports: list[CaseReport],
+    concepts: list[QueryConcept],
+    relation: tuple[int, int, str] | None,
+) -> dict[str, int]:
+    judgements: dict[str, int] = {}
+    for report in reports:
+        if not all(
+            _doc_mentions(report, concept.surface) for concept in concepts
+        ):
+            continue
+        grade = 1
+        if relation is not None:
+            src_idx, tgt_idx, label = relation
+            if _relation_holds(
+                report,
+                concepts[src_idx].surface,
+                concepts[tgt_idx].surface,
+                label,
+            ):
+                grade = 2
+        judgements[report.report_id] = grade
+    return judgements
+
+
+def make_query_workload(
+    reports: list[CaseReport], n_queries: int = 30, seed: int = 0
+) -> list[QueryCase]:
+    """Build a judged query workload over a generated corpus.
+
+    Each query is seeded from a random report's gold graph so that at
+    least one grade-2 document exists; judgements are then computed
+    over the *whole* corpus.
+    """
+    rng = np.random.default_rng(seed)
+    queries: list[QueryCase] = []
+    attempts = 0
+    while len(queries) < n_queries and attempts < n_queries * 20:
+        attempts += 1
+        report = reports[int(rng.integers(0, len(reports)))]
+        family = int(rng.integers(0, 3))
+        query = _make_query(report, family, f"q{len(queries):03d}", rng)
+        if query is None:
+            continue
+        query.judgements = _judge(reports, query.concepts, query.relation)
+        if not query.judgements:
+            continue
+        queries.append(query)
+    return queries
+
+
+def _make_query(
+    report: CaseReport, family: int, query_id: str, rng
+) -> QueryCase | None:
+    spans = report.annotations.spans_sorted()
+    symptoms = [
+        tb for tb in spans if tb.label == EventType.SIGN_SYMPTOM.value
+    ]
+    diseases = [
+        tb for tb in spans if tb.label == EventType.DISEASE_DISORDER.value
+    ]
+    medications = [
+        tb for tb in spans if tb.label == EventType.MEDICATION.value
+    ]
+
+    if family == 0:
+        # Overlapping symptoms at presentation.
+        overlapping = _overlapping_symptom_pair(report, symptoms)
+        if overlapping is None:
+            return None
+        first, second = overlapping
+        text = (
+            f"A patient was admitted to the hospital because of "
+            f"{first.text} and {second.text}."
+        )
+        concepts = [
+            QueryConcept(first.text, first.label),
+            QueryConcept(second.text, second.label),
+        ]
+        return QueryCase(query_id, text, concepts, (0, 1, "OVERLAP"))
+
+    if family == 1:
+        # Symptom that preceded the outcome/complication.
+        pairs = [
+            (a, b, rel)
+            for a, b, rel in report.timeline.all_pairs()
+            if rel == "BEFORE"
+        ]
+        if not pairs:
+            return None
+        a_id, b_id, _rel = pairs[int(rng.integers(0, len(pairs)))]
+        a = report.annotations.textbounds[a_id]
+        b = report.annotations.textbounds[b_id]
+        verbs = {
+            "Medication": "received",
+            "Diagnostic_procedure": "underwent",
+            "Therapeutic_procedure": "underwent",
+            "Disease_disorder": "was diagnosed with",
+        }
+        verb = verbs.get(b.label, "developed")
+        text = f"A patient {verb} {b.text} after {a.text}."
+        concepts = [
+            QueryConcept(a.text, a.label),
+            QueryConcept(b.text, b.label),
+        ]
+        return QueryCase(query_id, text, concepts, (0, 1, "BEFORE"))
+
+    # family == 2: disease treated with medication.
+    if not diseases or not medications:
+        return None
+    disease = diseases[0]
+    medication = medications[0]
+    text = f"A patient with {disease.text} treated with {medication.text}."
+    concepts = [
+        QueryConcept(disease.text, disease.label),
+        QueryConcept(medication.text, medication.label),
+    ]
+    return QueryCase(query_id, text, concepts, (0, 1, "BEFORE"))
+
+
+def _overlapping_symptom_pair(report: CaseReport, symptoms):
+    by_id = {tb.ann_id: tb for tb in symptoms}
+    for a_id, b_id, rel in report.timeline.all_pairs():
+        if rel == "OVERLAP" and a_id in by_id and b_id in by_id:
+            return by_id[a_id], by_id[b_id]
+    return None

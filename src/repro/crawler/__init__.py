@@ -1,0 +1,22 @@
+"""Web-crawling substrate: the Apache Nutch analog.
+
+The paper locates ~118k CVD case reports by querying PubMed and then
+crawling the associated publication pages, capturing XML or online
+PDFs.  This package provides an in-process synthetic PubMed site
+(search listings linking to article pages that serve TEI XML or SimPDF
+content) and a frontier-based crawler with per-host politeness,
+deduplication and robots rules.
+"""
+
+from repro.crawler.repository import SyntheticPubMed, Page
+from repro.crawler.frontier import Frontier
+from repro.crawler.crawler import Crawler, CrawlResult, CrawlStats
+
+__all__ = [
+    "SyntheticPubMed",
+    "Page",
+    "Frontier",
+    "Crawler",
+    "CrawlResult",
+    "CrawlStats",
+]

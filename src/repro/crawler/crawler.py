@@ -1,0 +1,109 @@
+"""The crawl loop: seeds -> frontier -> fetch -> extract links -> store.
+
+Mirrors the Nutch role in the paper's pipeline: starting from PubMed
+search results, locate article pages and capture their XML or PDF
+content for the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crawler.frontier import Frontier
+from repro.crawler.repository import Page, SyntheticPubMed
+from repro.exceptions import CrawlError
+
+
+@dataclass(frozen=True, slots=True)
+class CrawlResult:
+    """One captured publication page."""
+
+    url: str
+    content_type: str  # "xml" or "pdf"
+    body: str
+
+
+@dataclass
+class CrawlStats:
+    """Counters for one crawl run."""
+
+    fetched: int = 0
+    captured: int = 0
+    listings: int = 0
+    errors: int = 0
+    retries: int = 0
+    robots_skipped: int = 0
+    politeness_waits: float = 0.0
+    elapsed: float = 0.0
+
+
+@dataclass
+class Crawler:
+    """Frontier-driven crawler over a :class:`SyntheticPubMed` site.
+
+    Args:
+        site: the repository to crawl.
+        politeness_delay: simulated per-host delay between fetches.
+        max_retries: transient-failure retries per URL.
+    """
+
+    site: SyntheticPubMed
+    politeness_delay: float = 0.1
+    max_retries: int = 2
+    stats: CrawlStats = field(default_factory=CrawlStats)
+
+    def crawl(
+        self, seeds: list[str] | None = None, max_pages: int | None = None
+    ) -> list[CrawlResult]:
+        """Run to frontier exhaustion (or ``max_pages`` fetches).
+
+        Returns captured publication pages (XML/PDF bodies) in fetch
+        order; listing pages are traversed but not captured.
+        """
+        frontier = Frontier(politeness_delay=self.politeness_delay)
+        frontier.add_many(seeds if seeds is not None else self.site.seed_urls())
+        retries: dict[str, int] = {}
+        results: list[CrawlResult] = []
+        start_clock = self.site.clock
+
+        while True:
+            if max_pages is not None and self.stats.fetched >= max_pages:
+                break
+            url = frontier.next_url()
+            if url is None:
+                break
+            if not self.site.robots_allowed(url):
+                self.stats.robots_skipped += 1
+                continue
+            wait = frontier.wait_time(url, self.site.clock)
+            if wait > 0.0:
+                self.site.clock += wait
+                self.stats.politeness_waits += wait
+            try:
+                page = self.site.fetch(url)
+            except CrawlError as exc:
+                frontier.record_fetch(url, self.site.clock)
+                self.stats.fetched += 1
+                if str(exc).startswith("transient"):
+                    attempts = retries.get(url, 0)
+                    if attempts < self.max_retries:
+                        retries[url] = attempts + 1
+                        self.stats.retries += 1
+                        frontier.requeue(url)
+                        continue
+                self.stats.errors += 1
+                continue
+            frontier.record_fetch(url, self.site.clock)
+            self.stats.fetched += 1
+            results.extend(self._handle(page, frontier))
+
+        self.stats.elapsed = self.site.clock - start_clock
+        return results
+
+    def _handle(self, page: Page, frontier: Frontier) -> list[CrawlResult]:
+        if page.content_type == "listing":
+            self.stats.listings += 1
+            frontier.add_many(page.links)
+            return []
+        self.stats.captured += 1
+        return [CrawlResult(page.url, page.content_type, page.body)]

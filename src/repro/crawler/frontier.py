@@ -1,0 +1,67 @@
+"""URL frontier: dedup, FIFO ordering, per-host politeness.
+
+The frontier tracks which URLs have been seen, orders pending fetches
+breadth-first, and enforces a minimum delay between fetches to the same
+host on the simulated clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+def host_of(url: str) -> str:
+    """Host component of a ``scheme://host/...`` URL."""
+    rest = url.split("://", 1)[-1]
+    return rest.split("/", 1)[0]
+
+
+class Frontier:
+    """Breadth-first URL frontier with politeness accounting."""
+
+    def __init__(self, politeness_delay: float = 0.1):
+        self.politeness_delay = politeness_delay
+        self._queue: deque[str] = deque()
+        self._seen: set[str] = set()
+        self._last_fetch_by_host: dict[str, float] = {}
+
+    def add(self, url: str) -> bool:
+        """Enqueue a URL unless already seen; returns True when added."""
+        if url in self._seen:
+            return False
+        self._seen.add(url)
+        self._queue.append(url)
+        return True
+
+    def add_many(self, urls) -> int:
+        """Enqueue several URLs; returns how many were new."""
+        return sum(1 for url in urls if self.add(url))
+
+    def next_url(self) -> str | None:
+        """Dequeue the next URL (None when empty)."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def requeue(self, url: str) -> None:
+        """Put a transiently failed URL at the back of the queue."""
+        self._queue.append(url)
+
+    def wait_time(self, url: str, now: float) -> float:
+        """Simulated seconds to wait before politely fetching ``url``."""
+        last = self._last_fetch_by_host.get(host_of(url))
+        if last is None:
+            return 0.0
+        return max(0.0, last + self.politeness_delay - now)
+
+    def record_fetch(self, url: str, now: float) -> None:
+        """Note a completed fetch for politeness accounting."""
+        self._last_fetch_by_host[host_of(url)] = now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def seen(self) -> int:
+        return len(self._seen)

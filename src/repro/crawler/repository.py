@@ -1,0 +1,173 @@
+"""A synthetic PubMed site served in-process.
+
+URL scheme:
+
+* ``pubmed://search/<area>?page=<n>`` — listing pages of article links
+  (10 per page) with a next-page link;
+* ``pubmed://article/<pmid>`` — one publication, served as TEI XML or
+  SimPDF (mix controlled by ``pdf_fraction``);
+* ``pubmed://admin/...`` — robots-disallowed area.
+
+Fetching advances a simulated clock and can inject transient errors,
+letting crawler politeness and retry behaviour be tested determinally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.generator import CaseReport
+from repro.exceptions import CrawlError
+from repro.grobid.simpdf import render_simpdf
+from repro.grobid.tei import TeiDocument, to_tei_xml
+
+_PAGE_SIZE = 10
+
+_AFFILIATIONS = [
+    "Department of Cardiology, University Hospital",
+    "Division of Internal Medicine, City Medical Center",
+    "Department of Computer Science, State University",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Page:
+    """One fetchable resource."""
+
+    url: str
+    content_type: str  # "listing", "xml", "pdf"
+    body: str
+    links: tuple[str, ...] = ()
+
+
+def publication_fields(
+    report: CaseReport,
+) -> tuple[str, list[str], list[str], str, list[tuple[str, str]]]:
+    """Project a :class:`CaseReport` onto publication structure."""
+    abstract = (
+        f"We report {report.title.lower().rstrip('.')}. "
+        "The clinical course, workup and management are described."
+    )
+    body_sections = [
+        (name.capitalize(), report.text[start:end].strip())
+        for name, start, end in report.sections
+    ]
+    return (
+        report.title,
+        report.authors,
+        _AFFILIATIONS[: 1 + len(report.authors) % 2],
+        abstract,
+        body_sections,
+    )
+
+
+class SyntheticPubMed:
+    """Builds and serves the synthetic site from a generated corpus.
+
+    Args:
+        reports: corpus backing the article pages.
+        pdf_fraction: share of articles served as SimPDF (rest TEI XML).
+        error_rate: probability a fetch fails transiently (retryable).
+        fetch_latency: simulated seconds consumed per fetch.
+        seed: determinism for format choice and error injection.
+    """
+
+    def __init__(
+        self,
+        reports: list[CaseReport],
+        pdf_fraction: float = 0.5,
+        error_rate: float = 0.0,
+        fetch_latency: float = 0.05,
+        seed: int = 0,
+    ):
+        self._rng = np.random.default_rng(seed)
+        self.fetch_latency = fetch_latency
+        self.error_rate = error_rate
+        self.clock = 0.0
+        self.fetch_count = 0
+        self._pages: dict[str, Page] = {}
+        self._build(reports, pdf_fraction)
+
+    # -- site construction ----------------------------------------------------
+
+    def _build(self, reports: list[CaseReport], pdf_fraction: float) -> None:
+        by_area: dict[str, list[CaseReport]] = {}
+        for report in reports:
+            area = report.area or report.category
+            by_area.setdefault(area, []).append(report)
+
+        for report in reports:
+            url = f"pubmed://article/{report.pmid}"
+            if self._rng.random() < pdf_fraction:
+                title, authors, affils, abstract, sections = (
+                    publication_fields(report)
+                )
+                body = render_simpdf(title, authors, affils, abstract, sections)
+                content_type = "pdf"
+            else:
+                title, authors, affils, abstract, sections = (
+                    publication_fields(report)
+                )
+                tei = TeiDocument(
+                    title=title,
+                    authors=authors,
+                    affiliations=affils,
+                    abstract=abstract,
+                    sections=sections,
+                )
+                body = to_tei_xml(tei)
+                content_type = "xml"
+            self._pages[url] = Page(url, content_type, body)
+
+        for area, area_reports in by_area.items():
+            slug = area.replace(" ", "-")
+            n_pages = max(
+                1, -(-len(area_reports) // _PAGE_SIZE)
+            )  # ceil division
+            for page_no in range(n_pages):
+                url = f"pubmed://search/{slug}?page={page_no}"
+                chunk = area_reports[
+                    page_no * _PAGE_SIZE : (page_no + 1) * _PAGE_SIZE
+                ]
+                links = [f"pubmed://article/{r.pmid}" for r in chunk]
+                if page_no + 1 < n_pages:
+                    links.append(f"pubmed://search/{slug}?page={page_no + 1}")
+                body_lines = [f"Search results for {area}, page {page_no}:"]
+                body_lines.extend(links)
+                self._pages[url] = Page(
+                    url, "listing", "\n".join(body_lines), tuple(links)
+                )
+
+    # -- serving ------------------------------------------------------------------
+
+    def seed_urls(self) -> list[str]:
+        """Page-0 listing URL per area (the crawler's entry points)."""
+        return sorted(
+            url for url in self._pages if url.endswith("?page=0")
+        )
+
+    def robots_allowed(self, url: str) -> bool:
+        """Robots policy: the admin area is disallowed."""
+        return not url.startswith("pubmed://admin/")
+
+    def fetch(self, url: str) -> Page:
+        """Serve a page, advancing the simulated clock.
+
+        Raises:
+            CrawlError: unknown URL (permanent) or injected transient
+                failure (message prefixed ``"transient"``).
+        """
+        self.clock += self.fetch_latency
+        self.fetch_count += 1
+        if self.error_rate > 0.0 and self._rng.random() < self.error_rate:
+            raise CrawlError(f"transient fetch failure for {url}")
+        page = self._pages.get(url)
+        if page is None:
+            raise CrawlError(f"404 not found: {url}")
+        return page
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)

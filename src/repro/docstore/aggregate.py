@@ -1,0 +1,208 @@
+"""Aggregation pipelines for the document store (MongoDB analog).
+
+Supports the stages the CREATe portal's statistics pages need:
+
+* ``{"$match": <query>}`` — filter with the normal query language;
+* ``{"$group": {"_id": <expr>, out: {"$sum"|"$avg"|"$min"|"$max"|
+  "$push"|"$count": <expr>}}}`` — grouped accumulators;
+* ``{"$sort": {field: 1|-1, ...}}``;
+* ``{"$project": {field: 1 | <expr>}}``;
+* ``{"$limit": n}`` / ``{"$skip": n}``;
+* ``{"$unwind": "$field"}`` — one output document per array element.
+
+Expressions are either literals, ``"$path"`` field references, or
+``{"$concat": [...]}`` for string assembly.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterable
+
+from repro.docstore.query import _MISSING, compile_query, get_path
+from repro.exceptions import QueryError
+
+
+def _resolve(expression: Any, document: dict) -> Any:
+    """Evaluate an aggregation expression against a document."""
+    if isinstance(expression, str) and expression.startswith("$"):
+        value = get_path(document, expression[1:])
+        return None if value is _MISSING else value
+    if isinstance(expression, dict):
+        if len(expression) == 1 and "$concat" in expression:
+            parts = [
+                _resolve(part, document) for part in expression["$concat"]
+            ]
+            if any(part is None for part in parts):
+                return None
+            return "".join(str(part) for part in parts)
+        # Compound _id expressions: {field: subexpr, ...}
+        return {
+            key: _resolve(value, document)
+            for key, value in expression.items()
+        }
+    return expression
+
+
+def _freeze(value: Any):
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+class _Accumulator:
+    """One output field of a $group stage."""
+
+    def __init__(self, op: str, expression: Any):
+        if op not in ("$sum", "$avg", "$min", "$max", "$push", "$count"):
+            raise QueryError(f"unknown accumulator: {op!r}")
+        self.op = op
+        self.expression = expression
+        self.values: list = []
+
+    def feed(self, document: dict) -> None:
+        if self.op == "$count":
+            self.values.append(1)
+            return
+        value = _resolve(self.expression, document)
+        if self.op == "$sum" and not isinstance(value, (int, float)):
+            # Mongo treats non-numeric $sum inputs as 0, except the
+            # common literal-1 counting idiom resolved above.
+            value = 0 if value is None else value
+        self.values.append(value)
+
+    def result(self) -> Any:
+        if self.op in ("$sum", "$count"):
+            return sum(v for v in self.values if isinstance(v, (int, float)))
+        if self.op == "$avg":
+            numeric = [v for v in self.values if isinstance(v, (int, float))]
+            return sum(numeric) / len(numeric) if numeric else None
+        if self.op == "$min":
+            candidates = [v for v in self.values if v is not None]
+            return min(candidates) if candidates else None
+        if self.op == "$max":
+            candidates = [v for v in self.values if v is not None]
+            return max(candidates) if candidates else None
+        return list(self.values)  # $push
+
+
+def run_pipeline(
+    documents: Iterable[dict], pipeline: list[dict]
+) -> list[dict]:
+    """Execute an aggregation pipeline over ``documents``.
+
+    Raises:
+        QueryError: unknown stage or accumulator.
+    """
+    current = [copy.deepcopy(doc) for doc in documents]
+    for stage in pipeline:
+        if not isinstance(stage, dict) or len(stage) != 1:
+            raise QueryError("each stage must be a single-key dict")
+        name, body = next(iter(stage.items()))
+        if name == "$match":
+            predicate = compile_query(body)
+            current = [doc for doc in current if predicate(doc)]
+        elif name == "$group":
+            current = _group(current, body)
+        elif name == "$sort":
+            for field, direction in reversed(list(body.items())):
+                if direction not in (1, -1):
+                    raise QueryError("sort direction must be 1 or -1")
+                current.sort(
+                    key=lambda doc: _sort_key(get_path(doc, field)),
+                    reverse=direction == -1,
+                )
+        elif name == "$project":
+            current = [_project(doc, body) for doc in current]
+        elif name == "$limit":
+            current = current[: int(body)]
+        elif name == "$skip":
+            current = current[int(body) :]
+        elif name == "$unwind":
+            current = list(_unwind(current, body))
+        else:
+            raise QueryError(f"unknown pipeline stage: {name!r}")
+    return current
+
+
+def _group(documents: list[dict], spec: dict) -> list[dict]:
+    if "_id" not in spec:
+        raise QueryError("$group requires an _id expression")
+    id_expression = spec["_id"]
+    field_specs = {
+        out: next(iter(acc.items()))
+        for out, acc in spec.items()
+        if out != "_id"
+    }
+    groups: dict[Any, tuple[Any, dict[str, _Accumulator]]] = {}
+    for document in documents:
+        key_value = _resolve(id_expression, document)
+        frozen = _freeze(key_value)
+        if frozen not in groups:
+            groups[frozen] = (
+                key_value,
+                {
+                    out: _Accumulator(op, expr)
+                    for out, (op, expr) in field_specs.items()
+                },
+            )
+        _key, accumulators = groups[frozen]
+        for accumulator in accumulators.values():
+            accumulator.feed(document)
+    out = []
+    for key_value, accumulators in groups.values():
+        row = {"_id": key_value}
+        for name, accumulator in accumulators.items():
+            row[name] = accumulator.result()
+        out.append(row)
+    out.sort(key=lambda row: _sort_key(row["_id"]))
+    return out
+
+
+def _project(document: dict, spec: dict) -> dict:
+    out = {}
+    for field, rule in spec.items():
+        if rule == 1 or rule is True:
+            value = get_path(document, field)
+            if value is not _MISSING:
+                out[field] = copy.deepcopy(value)
+        elif rule == 0 or rule is False:
+            continue
+        else:
+            out[field] = _resolve(rule, document)
+    if "_id" in document and "_id" not in spec:
+        out["_id"] = document["_id"]
+    return out
+
+
+def _unwind(documents: list[dict], path: str):
+    if not path.startswith("$"):
+        raise QueryError("$unwind takes a '$field' path")
+    field = path[1:]
+    for document in documents:
+        value = get_path(document, field)
+        if value is _MISSING or value is None:
+            continue
+        if not isinstance(value, list):
+            yield document
+            continue
+        for element in value:
+            clone = copy.deepcopy(document)
+            _set_top_level_path(clone, field, element)
+            yield clone
+
+
+def _set_top_level_path(document: dict, path: str, value: Any) -> None:
+    parts = path.split(".")
+    current = document
+    for part in parts[:-1]:
+        current = current.setdefault(part, {})
+    current[parts[-1]] = value
+
+
+def _sort_key(value: Any):
+    from repro.docstore.store import _sort_key as store_sort_key
+
+    return store_sort_key(value)

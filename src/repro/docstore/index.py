@@ -1,0 +1,72 @@
+"""Secondary equality indexes for the document store.
+
+An index maps the (hashable form of the) value at a dotted path to the
+set of ``_id`` values holding it, accelerating equality and ``$in``
+lookups.  Array-valued fields are multikey, as in MongoDB: each element
+is indexed separately.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Hashable, Iterable
+
+from repro.docstore.query import get_path, _MISSING
+
+
+def _hashable(value: Any) -> Hashable:
+    """Stable hashable projection of a JSON value."""
+    if isinstance(value, list):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
+
+
+class SecondaryIndex:
+    """Equality index over one dotted field path."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._buckets: dict[Hashable, set] = defaultdict(set)
+
+    def add(self, doc_id, document: dict) -> None:
+        """Index ``document`` (multikey over array values)."""
+        for key in self._keys_of(document):
+            self._buckets[key].add(doc_id)
+
+    def remove(self, doc_id, document: dict) -> None:
+        """Remove ``document``'s entries."""
+        for key in self._keys_of(document):
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._buckets[key]
+
+    def lookup(self, value: Any) -> set:
+        """Doc ids whose field equals ``value`` (or contains it)."""
+        return set(self._buckets.get(_hashable(value), ()))
+
+    def lookup_in(self, values: Iterable[Any]) -> set:
+        """Union of lookups: supports ``$in`` acceleration."""
+        result: set = set()
+        for value in values:
+            result |= self.lookup(value)
+        return result
+
+    def distinct_values(self) -> list:
+        """Every indexed key (hashable projections)."""
+        return list(self._buckets.keys())
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def _keys_of(self, document: dict) -> list[Hashable]:
+        value = get_path(document, self.path)
+        if value is _MISSING:
+            return []
+        keys: list[Hashable] = [_hashable(value)]
+        if isinstance(value, list):
+            keys.extend(_hashable(item) for item in value)
+        return keys

@@ -1,0 +1,431 @@
+"""Collections and the document store (MongoDB analog).
+
+Documents are plain JSON dicts with a unique ``_id``.  Collections
+support Mongo-style find/update/delete with the operators implemented
+in :mod:`repro.docstore.query`, secondary indexes, sorting, skip/limit
+and JSONL persistence.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.docstore.index import SecondaryIndex
+from repro.docstore.query import compile_query, get_path, _MISSING
+from repro.exceptions import DocumentStoreError, DuplicateKeyError, QueryError
+
+_UPDATE_OPERATORS = frozenset(
+    {"$set", "$unset", "$inc", "$push", "$pull", "$addToSet", "$rename"}
+)
+
+
+class Collection:
+    """A named collection of JSON documents keyed by ``_id``."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._documents: dict[Any, dict] = {}
+        self._indexes: dict[str, SecondaryIndex] = {}
+        self._id_counter = itertools.count(1)
+
+    # -- insert ---------------------------------------------------------------
+
+    def insert_one(self, document: dict) -> Any:
+        """Insert a document; auto-assigns ``_id`` when absent.
+
+        Returns the document's ``_id``.
+
+        Raises:
+            DuplicateKeyError: an explicit ``_id`` already exists.
+        """
+        if not isinstance(document, dict):
+            raise DocumentStoreError("documents must be dicts")
+        stored = copy.deepcopy(document)
+        doc_id = stored.get("_id")
+        if doc_id is None:
+            doc_id = self._generate_id()
+            stored["_id"] = doc_id
+        elif doc_id in self._documents:
+            raise DuplicateKeyError(
+                f"{self.name}: duplicate _id {doc_id!r}"
+            )
+        self._documents[doc_id] = stored
+        for index in self._indexes.values():
+            index.add(doc_id, stored)
+        return doc_id
+
+    def insert_many(self, documents: Iterable[dict]) -> list:
+        """Insert several documents; returns their ids."""
+        return [self.insert_one(doc) for doc in documents]
+
+    # -- read -----------------------------------------------------------------
+
+    def find(
+        self,
+        query: dict | None = None,
+        sort: list[tuple[str, int]] | None = None,
+        skip: int = 0,
+        limit: int | None = None,
+        projection: list[str] | None = None,
+    ) -> list[dict]:
+        """Query the collection.
+
+        Args:
+            query: Mongo-style filter (None / {} selects everything).
+            sort: list of ``(path, direction)`` with direction +1 / -1.
+            skip / limit: pagination.
+            projection: keep only these top-level fields (plus ``_id``).
+        """
+        results = list(self._candidates(query or {}))
+        if sort:
+            for path, direction in reversed(sort):
+                if direction not in (1, -1):
+                    raise QueryError("sort direction must be 1 or -1")
+                results.sort(
+                    key=lambda doc: _sort_key(get_path(doc, path)),
+                    reverse=direction == -1,
+                )
+        if skip:
+            results = results[skip:]
+        if limit is not None:
+            results = results[:limit]
+        if projection is not None:
+            keep = set(projection) | {"_id"}
+            results = [
+                {k: v for k, v in doc.items() if k in keep}
+                for doc in results
+            ]
+        return [copy.deepcopy(doc) for doc in results]
+
+    def find_one(self, query: dict | None = None) -> dict | None:
+        """First match or None."""
+        hits = self.find(query, limit=1)
+        return hits[0] if hits else None
+
+    def get(self, doc_id: Any) -> dict | None:
+        """Primary-key lookup."""
+        doc = self._documents.get(doc_id)
+        return copy.deepcopy(doc) if doc is not None else None
+
+    def count(self, query: dict | None = None) -> int:
+        """Number of matching documents."""
+        if not query:
+            return len(self._documents)
+        return sum(1 for _ in self._candidates(query))
+
+    def distinct(self, path: str, query: dict | None = None) -> list:
+        """Sorted distinct values at ``path`` across matching documents."""
+        seen = set()
+        out = []
+        for doc in self._candidates(query or {}):
+            value = get_path(doc, path)
+            if value is _MISSING:
+                continue
+            values = value if isinstance(value, list) else [value]
+            for item in values:
+                key = json.dumps(item, sort_keys=True, default=str)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(item)
+        return sorted(out, key=lambda v: json.dumps(v, default=str))
+
+    # -- update / delete --------------------------------------------------------
+
+    def update_one(self, query: dict, update: dict) -> int:
+        """Apply update operators to the first match; returns 0 or 1."""
+        return self._update(query, update, many=False)
+
+    def update_many(self, query: dict, update: dict) -> int:
+        """Apply update operators to all matches; returns the count."""
+        return self._update(query, update, many=True)
+
+    def replace_one(self, query: dict, replacement: dict) -> int:
+        """Replace the first match wholesale, keeping its ``_id``."""
+        for doc in self._candidates(query):
+            doc_id = doc["_id"]
+            self._unindex(doc_id)
+            stored = copy.deepcopy(replacement)
+            stored["_id"] = doc_id
+            self._documents[doc_id] = stored
+            self._reindex(doc_id)
+            return 1
+        return 0
+
+    def delete_one(self, query: dict) -> int:
+        """Delete the first match; returns 0 or 1."""
+        for doc in self._candidates(query):
+            self._remove(doc["_id"])
+            return 1
+        return 0
+
+    def delete_many(self, query: dict) -> int:
+        """Delete all matches; returns the count."""
+        victims = [doc["_id"] for doc in self._candidates(query)]
+        for doc_id in victims:
+            self._remove(doc_id)
+        return len(victims)
+
+    def aggregate(self, pipeline: list[dict]) -> list[dict]:
+        """Run an aggregation pipeline over the collection.
+
+        See :mod:`repro.docstore.aggregate` for supported stages.
+        """
+        from repro.docstore.aggregate import run_pipeline
+
+        return run_pipeline(self._documents.values(), pipeline)
+
+    # -- indexes -----------------------------------------------------------------
+
+    def create_index(self, path: str) -> SecondaryIndex:
+        """Create (or return) a secondary equality index on ``path``."""
+        existing = self._indexes.get(path)
+        if existing is not None:
+            return existing
+        index = SecondaryIndex(path)
+        for doc_id, doc in self._documents.items():
+            index.add(doc_id, doc)
+        self._indexes[path] = index
+        return index
+
+    def drop_index(self, path: str) -> None:
+        """Remove an index (no-op when absent)."""
+        self._indexes.pop(path, None)
+
+    # -- persistence ----------------------------------------------------------------
+
+    def dump_jsonl(self, path: str | Path) -> int:
+        """Write every document as one JSON line; returns the count."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for doc in self._documents.values():
+                handle.write(json.dumps(doc, sort_keys=True) + "\n")
+        return len(self._documents)
+
+    def load_jsonl(self, path: str | Path) -> int:
+        """Load documents from a JSONL file into this collection."""
+        count = 0
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    self.insert_one(json.loads(line))
+                    count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(copy.deepcopy(list(self._documents.values())))
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _generate_id(self) -> str:
+        while True:
+            candidate = f"{self.name}-{next(self._id_counter):08d}"
+            if candidate not in self._documents:
+                return candidate
+
+    def _candidates(self, query: dict) -> Iterator[dict]:
+        """Iterate matching documents, using an index when one applies."""
+        pool = self._index_prefilter(query)
+        predicate = compile_query(query)
+        if pool is None:
+            docs: Iterable[dict] = self._documents.values()
+        else:
+            docs = (
+                self._documents[doc_id]
+                for doc_id in pool
+                if doc_id in self._documents
+            )
+        for doc in docs:
+            if predicate(doc):
+                yield doc
+
+    def _index_prefilter(self, query: dict) -> set | None:
+        """Candidate ids from the most selective applicable index."""
+        best: set | None = None
+        for path, condition in query.items():
+            index = self._indexes.get(path)
+            if index is None:
+                continue
+            candidates: set | None = None
+            if isinstance(condition, dict):
+                if "$eq" in condition:
+                    candidates = index.lookup(condition["$eq"])
+                elif "$in" in condition and isinstance(
+                    condition["$in"], (list, tuple)
+                ):
+                    candidates = index.lookup_in(condition["$in"])
+            elif not isinstance(condition, dict):
+                candidates = index.lookup(condition)
+            if candidates is not None:
+                best = candidates if best is None else best & candidates
+        return best
+
+    def _update(self, query: dict, update: dict, many: bool) -> int:
+        unknown = set(update) - _UPDATE_OPERATORS
+        if unknown:
+            raise QueryError(f"unknown update operators: {sorted(unknown)}")
+        modified = 0
+        for doc in list(self._candidates(query)):
+            doc_id = doc["_id"]
+            self._unindex(doc_id)
+            _apply_update(self._documents[doc_id], update)
+            self._reindex(doc_id)
+            modified += 1
+            if not many:
+                break
+        return modified
+
+    def _remove(self, doc_id: Any) -> None:
+        doc = self._documents.pop(doc_id)
+        for index in self._indexes.values():
+            index.remove(doc_id, doc)
+
+    def _unindex(self, doc_id: Any) -> None:
+        doc = self._documents[doc_id]
+        for index in self._indexes.values():
+            index.remove(doc_id, doc)
+
+    def _reindex(self, doc_id: Any) -> None:
+        doc = self._documents[doc_id]
+        for index in self._indexes.values():
+            index.add(doc_id, doc)
+
+
+def _sort_key(value: Any):
+    """Total order over heterogeneous JSON values (None < bool < numbers
+    < str < list < dict), mirroring Mongo's BSON type ordering loosely."""
+    if value is _MISSING or value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, list):
+        return (4, json.dumps(value, default=str))
+    return (5, json.dumps(value, sort_keys=True, default=str))
+
+
+def _set_path(document: dict, path: str, value: Any) -> None:
+    parts = path.split(".")
+    current = document
+    for part in parts[:-1]:
+        nxt = current.get(part)
+        if not isinstance(nxt, dict):
+            nxt = {}
+            current[part] = nxt
+        current = nxt
+    current[parts[-1]] = copy.deepcopy(value)
+
+
+def _delete_path(document: dict, path: str) -> None:
+    parts = path.split(".")
+    current = document
+    for part in parts[:-1]:
+        current = current.get(part)
+        if not isinstance(current, dict):
+            return
+    current.pop(parts[-1], None)
+
+
+def _apply_update(document: dict, update: dict) -> None:
+    for op, fields in update.items():
+        if op == "$set":
+            for path, value in fields.items():
+                _set_path(document, path, value)
+        elif op == "$unset":
+            for path in fields:
+                _delete_path(document, path)
+        elif op == "$inc":
+            for path, amount in fields.items():
+                current = get_path(document, path)
+                base = current if isinstance(current, (int, float)) else 0
+                _set_path(document, path, base + amount)
+        elif op == "$push":
+            for path, value in fields.items():
+                current = get_path(document, path)
+                if not isinstance(current, list):
+                    current = []
+                current = current + [copy.deepcopy(value)]
+                _set_path(document, path, current)
+        elif op == "$addToSet":
+            for path, value in fields.items():
+                current = get_path(document, path)
+                if not isinstance(current, list):
+                    current = []
+                if value not in current:
+                    current = current + [copy.deepcopy(value)]
+                _set_path(document, path, current)
+        elif op == "$pull":
+            for path, value in fields.items():
+                current = get_path(document, path)
+                if isinstance(current, list):
+                    _set_path(
+                        document,
+                        path,
+                        [item for item in current if item != value],
+                    )
+        elif op == "$rename":
+            for path, new_path in fields.items():
+                value = get_path(document, path)
+                if value is not _MISSING:
+                    _delete_path(document, path)
+                    _set_path(document, new_path, value)
+
+
+class DocumentStore:
+    """A set of named collections with shared persistence.
+
+    Example:
+        >>> store = DocumentStore()
+        >>> reports = store.collection("reports")
+        >>> _ = reports.insert_one({"title": "case 1"})
+    """
+
+    def __init__(self):
+        self._collections: dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or create a collection."""
+        existing = self._collections.get(name)
+        if existing is None:
+            existing = Collection(name)
+            self._collections[name] = existing
+        return existing
+
+    def drop_collection(self, name: str) -> None:
+        """Delete a collection and its documents."""
+        self._collections.pop(name, None)
+
+    def collection_names(self) -> list[str]:
+        """Sorted collection names."""
+        return sorted(self._collections)
+
+    def save(self, directory: str | Path) -> dict[str, int]:
+        """Persist every collection as ``<name>.jsonl`` in ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        counts = {}
+        for name, coll in self._collections.items():
+            counts[name] = coll.dump_jsonl(directory / f"{name}.jsonl")
+        return counts
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "DocumentStore":
+        """Rebuild a store from a :meth:`save` directory."""
+        store = cls()
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise DocumentStoreError(f"no such directory: {directory}")
+        for path in sorted(directory.glob("*.jsonl")):
+            store.collection(path.stem).load_jsonl(path)
+        return store

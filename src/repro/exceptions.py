@@ -1,0 +1,85 @@
+"""Exception hierarchy shared across the repro package.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch one base type at API boundaries while still being able to
+distinguish failure modes precisely in tests.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A type label or relation violates the clinical typing schema."""
+
+
+class AnnotationError(ReproError):
+    """Malformed standoff annotation data (BRAT .ann)."""
+
+
+class SpanError(AnnotationError):
+    """A text-bound span is inconsistent with its document text."""
+
+
+class DocumentStoreError(ReproError):
+    """Base error for the document store (MongoDB analog)."""
+
+
+class DuplicateKeyError(DocumentStoreError):
+    """An _id that already exists was inserted again."""
+
+
+class QueryError(DocumentStoreError):
+    """A document-store query uses an unknown operator or bad operand."""
+
+
+class SearchError(ReproError):
+    """Base error for the full-text search engine (ElasticSearch analog)."""
+
+
+class AnalyzerError(SearchError):
+    """An analysis chain was configured with unknown components."""
+
+
+class GraphError(ReproError):
+    """Base error for the property graph store (Neo4j analog)."""
+
+
+class CypherError(GraphError):
+    """A mini-Cypher query failed to parse or execute."""
+
+
+class ParseError(ReproError):
+    """A publication document (SimPDF / TEI XML) could not be parsed."""
+
+
+class CrawlError(ReproError):
+    """The crawler could not fetch or process a URL."""
+
+
+class ModelError(ReproError):
+    """An ML model was used before fitting, or with bad shapes."""
+
+
+class NotFittedError(ModelError):
+    """Predict/transform called on an unfitted model."""
+
+
+class TemporalInconsistencyError(ReproError):
+    """A temporal graph contains contradictory relations."""
+
+
+class PipelineError(ReproError):
+    """End-to-end pipeline orchestration failure."""
+
+
+class ApiError(ReproError):
+    """Application-facade request failure, carries an HTTP-like status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message

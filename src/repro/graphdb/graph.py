@@ -1,0 +1,241 @@
+"""The property graph store.
+
+Nodes and edges carry free-form string-keyed properties.  Per the
+paper's data model, case-report nodes use ``label`` (a natural-language
+description) and ``entityType`` (the schema type); edges use a relation
+label plus optional properties.  Adjacency is indexed both ways and
+nodes are secondarily indexed by property values for fast lookups.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.exceptions import GraphError
+
+
+@dataclass(slots=True)
+class Node:
+    """A graph node: unique id plus properties."""
+
+    node_id: str
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.properties.get(key, default)
+
+
+@dataclass(slots=True)
+class Edge:
+    """A directed, labeled edge between two node ids."""
+
+    edge_id: int
+    source: str
+    target: str
+    label: str
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.properties.get(key, default)
+
+
+class PropertyGraph:
+    """Directed multigraph with property-indexed nodes.
+
+    Example:
+        >>> g = PropertyGraph()
+        >>> _ = g.add_node("n1", label="fever", entityType="Sign_symptom")
+        >>> _ = g.add_node("n2", label="cough", entityType="Sign_symptom")
+        >>> _ = g.add_edge("n1", "n2", "OVERLAP")
+        >>> [e.label for e in g.out_edges("n1")]
+        ['OVERLAP']
+    """
+
+    def __init__(self):
+        self._nodes: dict[str, Node] = {}
+        self._edges: dict[int, Edge] = {}
+        self._outgoing: dict[str, list[int]] = defaultdict(list)
+        self._incoming: dict[str, list[int]] = defaultdict(list)
+        self._property_index: dict[str, dict[Any, set[str]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._indexed_properties: set[str] = set()
+        self._next_edge_id = 0
+
+    # -- nodes ---------------------------------------------------------------
+
+    def add_node(self, node_id: str, **properties: Any) -> Node:
+        """Create a node (merging properties when it already exists)."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            node = Node(node_id, dict(properties))
+            self._nodes[node_id] = node
+            self._index_node(node)
+        else:
+            self._unindex_node(node)
+            node.properties.update(properties)
+            self._index_node(node)
+        return node
+
+    def node(self, node_id: str) -> Node:
+        """Fetch a node by id.
+
+        Raises:
+            GraphError: unknown id.
+        """
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise GraphError(f"unknown node: {node_id!r}")
+        return node
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def remove_node(self, node_id: str) -> None:
+        """Delete a node and all incident edges."""
+        node = self._nodes.pop(node_id, None)
+        if node is None:
+            return
+        self._unindex_node(node)
+        incident = set(self._outgoing.pop(node_id, [])) | set(
+            self._incoming.pop(node_id, [])
+        )
+        for edge_id in incident:
+            edge = self._edges.pop(edge_id, None)
+            if edge is None:
+                continue
+            if edge.source != node_id:
+                self._outgoing[edge.source].remove(edge_id)
+            if edge.target != node_id:
+                self._incoming[edge.target].remove(edge_id)
+
+    def nodes(self) -> Iterator[Node]:
+        """All nodes (insertion order)."""
+        return iter(list(self._nodes.values()))
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    # -- edges ------------------------------------------------------------------
+
+    def add_edge(
+        self, source: str, target: str, label: str, **properties: Any
+    ) -> Edge:
+        """Create a directed edge; endpoints must exist.
+
+        Raises:
+            GraphError: missing endpoint.
+        """
+        for endpoint in (source, target):
+            if endpoint not in self._nodes:
+                raise GraphError(f"unknown node: {endpoint!r}")
+        edge = Edge(self._next_edge_id, source, target, label, dict(properties))
+        self._edges[edge.edge_id] = edge
+        self._outgoing[source].append(edge.edge_id)
+        self._incoming[target].append(edge.edge_id)
+        self._next_edge_id += 1
+        return edge
+
+    def remove_edge(self, edge_id: int) -> None:
+        """Delete an edge by id (no-op when absent)."""
+        edge = self._edges.pop(edge_id, None)
+        if edge is None:
+            return
+        self._outgoing[edge.source].remove(edge_id)
+        self._incoming[edge.target].remove(edge_id)
+
+    def edges(self) -> Iterator[Edge]:
+        """All edges."""
+        return iter(list(self._edges.values()))
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def out_edges(self, node_id: str, label: str | None = None) -> list[Edge]:
+        """Outgoing edges of a node, optionally filtered by label."""
+        edges = [self._edges[eid] for eid in self._outgoing.get(node_id, ())]
+        if label is not None:
+            edges = [e for e in edges if e.label == label]
+        return edges
+
+    def in_edges(self, node_id: str, label: str | None = None) -> list[Edge]:
+        """Incoming edges of a node, optionally filtered by label."""
+        edges = [self._edges[eid] for eid in self._incoming.get(node_id, ())]
+        if label is not None:
+            edges = [e for e in edges if e.label == label]
+        return edges
+
+    def neighbors(self, node_id: str) -> set[str]:
+        """Ids of nodes adjacent in either direction."""
+        out = {self._edges[eid].target for eid in self._outgoing.get(node_id, ())}
+        inc = {self._edges[eid].source for eid in self._incoming.get(node_id, ())}
+        return out | inc
+
+    # -- property index -----------------------------------------------------------
+
+    def create_property_index(self, key: str) -> None:
+        """Index nodes by the value of property ``key``."""
+        if key in self._indexed_properties:
+            return
+        self._indexed_properties.add(key)
+        for node in self._nodes.values():
+            value = node.properties.get(key)
+            if _hashable(value):
+                self._property_index[key][value].add(node.node_id)
+
+    def find_nodes(self, **criteria: Any) -> list[Node]:
+        """Nodes whose properties equal every criterion.
+
+        Uses property indexes when available, scanning otherwise.
+        """
+        candidate_ids: set[str] | None = None
+        unindexed: dict[str, Any] = {}
+        for key, value in criteria.items():
+            if key in self._indexed_properties and _hashable(value):
+                bucket = self._property_index[key].get(value, set())
+                candidate_ids = (
+                    set(bucket)
+                    if candidate_ids is None
+                    else candidate_ids & bucket
+                )
+            else:
+                unindexed[key] = value
+        if candidate_ids is None:
+            pool: Iterator[Node] = iter(self._nodes.values())
+        else:
+            pool = (self._nodes[nid] for nid in candidate_ids)
+        out = []
+        for node in pool:
+            if all(
+                node.properties.get(key) == value
+                for key, value in unindexed.items()
+            ):
+                out.append(node)
+        out.sort(key=lambda n: n.node_id)
+        return out
+
+    # -- internals --------------------------------------------------------------
+
+    def _index_node(self, node: Node) -> None:
+        for key in self._indexed_properties:
+            value = node.properties.get(key)
+            if _hashable(value):
+                self._property_index[key][value].add(node.node_id)
+
+    def _unindex_node(self, node: Node) -> None:
+        for key in self._indexed_properties:
+            value = node.properties.get(key)
+            if _hashable(value):
+                self._property_index[key][value].discard(node.node_id)
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True

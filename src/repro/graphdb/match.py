@@ -1,0 +1,205 @@
+"""Subgraph pattern matching over a :class:`PropertyGraph`.
+
+A :class:`GraphPattern` is a small query graph of variable-named node
+patterns connected by edge patterns; :func:`match_pattern` enumerates
+all bindings of pattern variables to graph nodes via backtracking,
+most-constrained-variable first.
+
+This is the engine behind both mini-Cypher ``MATCH`` and CREATe-IR's
+entity & relation search: a parsed user query becomes a pattern whose
+nodes constrain ``entityType`` and (fuzzily) ``label``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.graphdb.graph import Edge, Node, PropertyGraph
+
+
+@dataclass(frozen=True, slots=True)
+class NodePattern:
+    """Constraints one pattern variable places on a graph node.
+
+    Attributes:
+        var: variable name (binding key in results).
+        properties: exact property equalities.
+        predicate: arbitrary extra constraint (e.g. fuzzy label match).
+    """
+
+    var: str
+    properties: tuple[tuple[str, Any], ...] = ()
+    predicate: Callable[[Node], bool] | None = None
+
+    def admits(self, node: Node) -> bool:
+        """Does ``node`` satisfy this pattern?"""
+        for key, value in self.properties:
+            if node.properties.get(key) != value:
+                return False
+        if self.predicate is not None and not self.predicate(node):
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class EdgePattern:
+    """A required edge between two bound variables.
+
+    Attributes:
+        source / target: variable names.
+        label: required edge label (None = any).
+        directed: when False, either orientation satisfies the pattern.
+    """
+
+    source: str
+    target: str
+    label: str | None = None
+    directed: bool = True
+
+    def admits(self, edge: Edge) -> bool:
+        return self.label is None or edge.label == self.label
+
+
+@dataclass
+class GraphPattern:
+    """A conjunction of node and edge patterns."""
+
+    nodes: list[NodePattern] = field(default_factory=list)
+    edges: list[EdgePattern] = field(default_factory=list)
+
+    def node_vars(self) -> list[str]:
+        return [pattern.var for pattern in self.nodes]
+
+    def validate(self) -> None:
+        """Check edge endpoints reference declared variables."""
+        declared = set(self.node_vars())
+        for edge in self.edges:
+            for var in (edge.source, edge.target):
+                if var not in declared:
+                    raise ValueError(
+                        f"edge references undeclared variable {var!r}"
+                    )
+
+
+def match_pattern(
+    graph: PropertyGraph,
+    pattern: GraphPattern,
+    limit: int | None = None,
+) -> list[dict[str, Node]]:
+    """All bindings of pattern variables to distinct graph nodes.
+
+    Args:
+        graph: the data graph.
+        pattern: the query pattern (validated internally).
+        limit: stop after this many bindings (None = exhaustive).
+
+    Returns:
+        A list of ``{var: Node}`` dicts; deterministic order.
+    """
+    pattern.validate()
+    if not pattern.nodes:
+        return []
+
+    candidates: dict[str, list[Node]] = {}
+    for node_pattern in pattern.nodes:
+        exact = dict(node_pattern.properties)
+        pool = graph.find_nodes(**exact) if exact else sorted(
+            graph.nodes(), key=lambda n: n.node_id
+        )
+        if node_pattern.predicate is not None:
+            pool = [node for node in pool if node_pattern.predicate(node)]
+        candidates[node_pattern.var] = pool
+        if not pool:
+            return []
+
+    # Most-constrained variable first keeps the search shallow.
+    order = sorted(pattern.nodes, key=lambda p: len(candidates[p.var]))
+    edges_by_vars: dict[frozenset[str], list[EdgePattern]] = {}
+    for edge in pattern.edges:
+        edges_by_vars.setdefault(
+            frozenset((edge.source, edge.target)), []
+        ).append(edge)
+
+    results: list[dict[str, Node]] = []
+
+    def consistent(
+        binding: dict[str, Node], var: str, node: Node
+    ) -> bool:
+        if any(bound.node_id == node.node_id for bound in binding.values()):
+            return False  # injective matching, as in cypher MATCH
+        for other_var, other_node in binding.items():
+            for edge in edges_by_vars.get(frozenset((var, other_var)), ()):
+                if not _edge_satisfied(graph, edge, var, node, other_var, other_node):
+                    return False
+        return True
+
+    def backtrack(depth: int, binding: dict[str, Node]) -> bool:
+        """Returns True when the limit has been reached."""
+        if depth == len(order):
+            results.append(dict(binding))
+            return limit is not None and len(results) >= limit
+        node_pattern = order[depth]
+        for node in candidates[node_pattern.var]:
+            if consistent(binding, node_pattern.var, node):
+                binding[node_pattern.var] = node
+                if backtrack(depth + 1, binding):
+                    return True
+                del binding[node_pattern.var]
+        return False
+
+    backtrack(0, {})
+    return results
+
+
+def _edge_satisfied(
+    graph: PropertyGraph,
+    edge: EdgePattern,
+    var: str,
+    node: Node,
+    other_var: str,
+    other_node: Node,
+) -> bool:
+    if edge.source == var:
+        src, dst = node, other_node
+    else:
+        src, dst = other_node, node
+    forward = any(
+        e.target == dst.node_id and edge.admits(e)
+        for e in graph.out_edges(src.node_id)
+    )
+    if forward:
+        return True
+    if not edge.directed:
+        return any(
+            e.target == src.node_id and edge.admits(e)
+            for e in graph.out_edges(dst.node_id)
+        )
+    return False
+
+
+def iter_edge_bindings(
+    graph: PropertyGraph,
+    binding: dict[str, Node],
+    pattern: GraphPattern,
+) -> Iterator[tuple[EdgePattern, Edge]]:
+    """For a node binding, yield one concrete edge per edge pattern.
+
+    Useful to report *which* edges realized a match (for result
+    explanations and visualization highlighting).
+    """
+    for edge_pattern in pattern.edges:
+        src = binding[edge_pattern.source]
+        dst = binding[edge_pattern.target]
+        found = None
+        for e in graph.out_edges(src.node_id):
+            if e.target == dst.node_id and edge_pattern.admits(e):
+                found = e
+                break
+        if found is None and not edge_pattern.directed:
+            for e in graph.out_edges(dst.node_id):
+                if e.target == src.node_id and edge_pattern.admits(e):
+                    found = e
+                    break
+        if found is not None:
+            yield (edge_pattern, found)

@@ -1,0 +1,94 @@
+"""Graph traversal utilities: paths, components, degree statistics.
+
+Used by the portal's graph views (connected clusters of a case graph)
+and available as public API for downstream analyses over the indexed
+knowledge graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphdb.graph import PropertyGraph
+
+
+def shortest_path(
+    graph: PropertyGraph,
+    source: str,
+    target: str,
+    label: str | None = None,
+    directed: bool = False,
+) -> list[str] | None:
+    """BFS shortest node path from ``source`` to ``target``.
+
+    Args:
+        label: restrict traversal to edges with this label.
+        directed: follow edges only source->target when True.
+
+    Returns:
+        The node-id path including both endpoints, or None when
+        unreachable.
+    """
+    if not graph.has_node(source) or not graph.has_node(target):
+        return None
+    if source == target:
+        return [source]
+    parents: dict[str, str] = {}
+    queue = deque([source])
+    visited = {source}
+    while queue:
+        current = queue.popleft()
+        neighbors = [e.target for e in graph.out_edges(current, label=label)]
+        if not directed:
+            neighbors.extend(
+                e.source for e in graph.in_edges(current, label=label)
+            )
+        for neighbor in neighbors:
+            if neighbor in visited:
+                continue
+            visited.add(neighbor)
+            parents[neighbor] = current
+            if neighbor == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                return list(reversed(path))
+            queue.append(neighbor)
+    return None
+
+
+def connected_components(graph: PropertyGraph) -> list[list[str]]:
+    """Weakly connected components, each sorted, largest first."""
+    remaining = {node.node_id for node in graph.nodes()}
+    components: list[list[str]] = []
+    while remaining:
+        start = min(remaining)
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in graph.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        components.append(sorted(seen))
+        remaining -= seen
+    components.sort(key=lambda comp: (-len(comp), comp[0]))
+    return components
+
+
+def degree_stats(graph: PropertyGraph) -> dict[str, float]:
+    """Degree summary over the whole graph (for portal dashboards)."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return {"n_nodes": 0, "n_edges": 0, "mean_degree": 0.0, "max_degree": 0}
+    degrees = [
+        len(graph.out_edges(node.node_id)) + len(graph.in_edges(node.node_id))
+        for node in nodes
+    ]
+    return {
+        "n_nodes": len(nodes),
+        "n_edges": graph.n_edges,
+        "mean_degree": sum(degrees) / len(degrees),
+        "max_degree": max(degrees),
+    }

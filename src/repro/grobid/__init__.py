@@ -1,0 +1,32 @@
+"""Publication parsing substrate: the Grobid analog.
+
+CREATe's PDF submission service converts publication PDFs into
+"well organized XML" with automatically mined metadata (title, authors,
+affiliations).  Real PDFs cannot be synthesized offline, so this
+package defines **SimPDF** — a positioned-text page format that
+preserves what Grobid actually consumes from a PDF (text blocks with
+layout and font-size information) — plus the TEI-like XML target
+format, metadata mining heuristics, and section segmentation.
+"""
+
+from repro.grobid.simpdf import SimPdfBlock, SimPdfDocument, render_simpdf, parse_simpdf
+from repro.grobid.tei import TeiDocument, to_tei_xml, parse_tei_xml
+from repro.grobid.metadata import extract_metadata, PublicationMetadata
+from repro.grobid.sections import segment_sections, SectionSpan
+from repro.grobid.service import GrobidService, ParsedPublication
+
+__all__ = [
+    "SimPdfBlock",
+    "SimPdfDocument",
+    "render_simpdf",
+    "parse_simpdf",
+    "TeiDocument",
+    "to_tei_xml",
+    "parse_tei_xml",
+    "extract_metadata",
+    "PublicationMetadata",
+    "segment_sections",
+    "SectionSpan",
+    "GrobidService",
+    "ParsedPublication",
+]

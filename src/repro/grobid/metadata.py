@@ -1,0 +1,80 @@
+"""Metadata mining from SimPDF layout: title, authors, affiliations.
+
+Reproduces the heuristics Grobid applies to real PDFs, restated over
+SimPDF blocks:
+
+* **title** — the largest-font block on page 1;
+* **authors** — the first regular block after the title whose text is a
+  comma-separated list of capitalized name tokens;
+* **affiliations** — italic blocks between the authors and the abstract;
+* **abstract** — the block following a bold "Abstract" heading.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.grobid.simpdf import SimPdfDocument
+
+_NAME_TOKEN_RE = re.compile(r"^[A-Z][a-zA-Z.'-]*$")
+
+
+@dataclass
+class PublicationMetadata:
+    """Mined publication metadata."""
+
+    title: str = ""
+    authors: list[str] = field(default_factory=list)
+    affiliations: list[str] = field(default_factory=list)
+    abstract: str = ""
+
+
+def _looks_like_author_list(text: str) -> bool:
+    """Every comma-separated chunk is 2-4 capitalized name tokens."""
+    chunks = [chunk.strip() for chunk in text.split(",") if chunk.strip()]
+    if not chunks:
+        return False
+    for chunk in chunks:
+        tokens = chunk.split()
+        if not 2 <= len(tokens) <= 4:
+            return False
+        if not all(_NAME_TOKEN_RE.match(token) for token in tokens):
+            return False
+    return True
+
+
+def extract_metadata(pdf: SimPdfDocument) -> PublicationMetadata:
+    """Mine title/authors/affiliations/abstract from SimPDF layout."""
+    meta = PublicationMetadata()
+    page1 = pdf.page_blocks(1)
+    if not page1:
+        return meta
+
+    title_block = max(page1, key=lambda b: (b.size, -b.y))
+    meta.title = title_block.text.replace("\n", " ").strip()
+    after_title = [b for b in page1 if b.y > title_block.y]
+
+    abstract_index = None
+    for i, block in enumerate(after_title):
+        if block.style == "bold" and block.text.strip().lower() == "abstract":
+            abstract_index = i
+            break
+
+    header_zone = (
+        after_title[:abstract_index]
+        if abstract_index is not None
+        else after_title
+    )
+    for block in header_zone:
+        text = block.text.replace("\n", " ").strip()
+        if not meta.authors and _looks_like_author_list(text):
+            meta.authors = [
+                chunk.strip() for chunk in text.split(",") if chunk.strip()
+            ]
+        elif block.style == "italic":
+            meta.affiliations.append(text)
+
+    if abstract_index is not None and abstract_index + 1 < len(after_title):
+        meta.abstract = after_title[abstract_index + 1].text.strip()
+    return meta

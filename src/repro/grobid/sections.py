@@ -1,0 +1,86 @@
+"""Section segmentation of parsed publication bodies.
+
+After SimPDF parsing, body blocks alternate between bold headings and
+regular paragraphs; :func:`segment_sections` pairs them up and
+canonicalizes heading names so the pipeline can address "presentation"
+or "outcome" uniformly across journals' heading conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grobid.simpdf import SimPdfDocument
+from repro.text.tokenize import SentenceSplitter
+
+# Canonical section name <- alternative headings seen in the wild.
+_CANONICAL_HEADINGS = {
+    "demographics": ("demographics", "patient information", "patient"),
+    "presentation": (
+        "presentation", "case presentation", "chief complaint",
+        "history of present illness",
+    ),
+    "workup": ("workup", "investigations", "diagnostic assessment", "findings"),
+    "diagnosis": ("diagnosis", "diagnostic conclusion"),
+    "treatment": ("treatment", "therapeutic intervention", "management"),
+    "outcome": ("outcome", "outcome and follow-up", "follow-up", "discussion"),
+}
+
+_HEADING_LOOKUP = {
+    alias: canonical
+    for canonical, aliases in _CANONICAL_HEADINGS.items()
+    for alias in aliases
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SectionSpan:
+    """One canonical section with its text and sentences."""
+
+    name: str
+    heading: str
+    text: str
+    sentences: tuple[str, ...]
+
+
+def canonical_heading(heading: str) -> str:
+    """Map a free-form heading to a canonical section name."""
+    return _HEADING_LOOKUP.get(heading.strip().lower(), "other")
+
+
+def segment_sections(pdf: SimPdfDocument) -> list[SectionSpan]:
+    """Pair bold headings with their following paragraphs.
+
+    Page-1 front matter (title/authors/abstract) is skipped: body
+    segmentation starts after the abstract heading when one exists.
+    """
+    splitter = SentenceSplitter()
+    sections: list[SectionSpan] = []
+    pending_heading: str | None = None
+    seen_abstract = False
+
+    for page in range(1, pdf.n_pages + 1):
+        for block in pdf.page_blocks(page):
+            text = block.text.strip()
+            if not text:
+                continue
+            if block.style == "bold":
+                if text.lower() == "abstract":
+                    seen_abstract = True
+                    pending_heading = None
+                    continue
+                if page == 1 and not seen_abstract:
+                    continue  # the title block
+                pending_heading = text
+                continue
+            if pending_heading is not None:
+                sections.append(
+                    SectionSpan(
+                        name=canonical_heading(pending_heading),
+                        heading=pending_heading,
+                        text=text,
+                        sentences=tuple(splitter.split_texts(text)),
+                    )
+                )
+                pending_heading = None
+    return sections

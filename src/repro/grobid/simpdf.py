@@ -1,0 +1,182 @@
+"""SimPDF: a simulated positioned-text publication format.
+
+A SimPDF file is line-oriented text:
+
+    %SimPDF 1.0
+    PAGE 1
+    BLOCK x=72 y=60 size=18 style=bold
+    A case of atrial fibrillation presenting with syncope
+    ENDBLOCK
+    BLOCK x=72 y=120 size=10 style=regular
+    Wei Chen, Maria Garcia
+    ENDBLOCK
+    ENDPAGE
+
+It models exactly the information a PDF text extractor recovers from a
+real publication PDF — page, position, font size and style per text
+block — which is what Grobid's metadata heuristics rely on.  The
+renderer converts a structured publication into SimPDF; the parser
+recovers the block structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParseError
+
+_HEADER = "%SimPDF 1.0"
+
+
+@dataclass(frozen=True, slots=True)
+class SimPdfBlock:
+    """One positioned text block."""
+
+    page: int
+    x: float
+    y: float
+    size: float
+    style: str
+    text: str
+
+
+@dataclass
+class SimPdfDocument:
+    """A parsed SimPDF file: pages of positioned blocks."""
+
+    blocks: list[SimPdfBlock] = field(default_factory=list)
+
+    @property
+    def n_pages(self) -> int:
+        if not self.blocks:
+            return 0
+        return max(block.page for block in self.blocks)
+
+    def page_blocks(self, page: int) -> list[SimPdfBlock]:
+        """Blocks of one page, top-to-bottom reading order."""
+        return sorted(
+            (b for b in self.blocks if b.page == page),
+            key=lambda b: (b.y, b.x),
+        )
+
+    def full_text(self) -> str:
+        """All block text joined in reading order."""
+        parts = []
+        for page in range(1, self.n_pages + 1):
+            parts.extend(block.text for block in self.page_blocks(page))
+        return "\n".join(parts)
+
+
+def render_simpdf(
+    title: str,
+    authors: list[str],
+    affiliations: list[str],
+    abstract: str,
+    body_sections: list[tuple[str, str]],
+) -> str:
+    """Render a structured publication as SimPDF content.
+
+    Args:
+        title: publication title (rendered largest, top of page 1).
+        authors: author names (rendered below the title).
+        affiliations: affiliation lines.
+        abstract: abstract paragraph.
+        body_sections: list of ``(heading, paragraph_text)``.
+    """
+    lines = [_HEADER, "PAGE 1"]
+    y = 60.0
+
+    def block(text: str, size: float, style: str) -> None:
+        nonlocal y
+        lines.append(f"BLOCK x=72 y={y:g} size={size:g} style={style}")
+        lines.append(text)
+        lines.append("ENDBLOCK")
+        y += 30.0 + 10.0 * text.count("\n")
+
+    block(title, 18, "bold")
+    block(", ".join(authors), 11, "regular")
+    for affiliation in affiliations:
+        block(affiliation, 9, "italic")
+    block("Abstract", 12, "bold")
+    block(abstract, 10, "regular")
+
+    page = 1
+    for heading, paragraph in body_sections:
+        if y > 700.0:
+            lines.append("ENDPAGE")
+            page += 1
+            lines.append(f"PAGE {page}")
+            y = 60.0
+        block(heading, 12, "bold")
+        block(paragraph, 10, "regular")
+    lines.append("ENDPAGE")
+    return "\n".join(lines) + "\n"
+
+
+def parse_simpdf(content: str) -> SimPdfDocument:
+    """Parse SimPDF content into its block structure.
+
+    Raises:
+        ParseError: missing header or malformed block structure.
+    """
+    lines = content.splitlines()
+    if not lines or lines[0].strip() != _HEADER:
+        raise ParseError("not a SimPDF file (missing %SimPDF header)")
+    doc = SimPdfDocument()
+    page = 0
+    i = 1
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line:
+            continue
+        if line.startswith("PAGE "):
+            try:
+                page = int(line.split()[1])
+            except (IndexError, ValueError) as exc:
+                raise ParseError(f"bad PAGE line: {line!r}") from exc
+            continue
+        if line == "ENDPAGE":
+            continue
+        if line.startswith("BLOCK "):
+            if page == 0:
+                raise ParseError("BLOCK before any PAGE")
+            attrs = _parse_block_attrs(line)
+            text_lines = []
+            while i < len(lines) and lines[i].strip() != "ENDBLOCK":
+                text_lines.append(lines[i])
+                i += 1
+            if i >= len(lines):
+                raise ParseError("unterminated BLOCK")
+            i += 1  # consume ENDBLOCK
+            doc.blocks.append(
+                SimPdfBlock(
+                    page=page,
+                    x=attrs["x"],
+                    y=attrs["y"],
+                    size=attrs["size"],
+                    style=attrs["style"],
+                    text="\n".join(text_lines).strip(),
+                )
+            )
+            continue
+        raise ParseError(f"unexpected SimPDF line: {line!r}")
+    return doc
+
+
+def _parse_block_attrs(line: str) -> dict:
+    attrs: dict = {"x": 0.0, "y": 0.0, "size": 10.0, "style": "regular"}
+    for token in line.split()[1:]:
+        if "=" not in token:
+            raise ParseError(f"bad BLOCK attribute: {token!r}")
+        key, value = token.split("=", 1)
+        if key in ("x", "y", "size"):
+            try:
+                attrs[key] = float(value)
+            except ValueError as exc:
+                raise ParseError(f"bad numeric attribute: {token!r}") from exc
+        elif key == "style":
+            attrs[key] = value
+        else:
+            raise ParseError(f"unknown BLOCK attribute: {key!r}")
+    return attrs

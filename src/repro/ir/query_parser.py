@@ -1,0 +1,123 @@
+"""Information extraction from user queries (paper section III-C).
+
+Given a query like "A patient was admitted to the hospital because of
+fever and cough", the parser applies the two machine-learning modules —
+the NER tagger and the temporal relation classifier — to produce the
+structured form CREATe-IR searches with: typed concept mentions plus
+temporal relations between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.annotation.model import AnnotationDocument
+from repro.corpus.datasets import TemporalDocument, TemporalInstance
+from repro.ner.tagger import NerTagger
+from repro.schema.types import is_event_label
+from repro.temporal.classifier import TemporalClassifier
+
+
+@dataclass(frozen=True, slots=True)
+class QueryConceptMention:
+    """One extracted query concept."""
+
+    surface: str
+    entity_type: str
+    start: int
+    end: int
+
+
+@dataclass
+class ParsedQuery:
+    """Structured form of a user query."""
+
+    text: str
+    concepts: list[QueryConceptMention] = field(default_factory=list)
+    relations: list[tuple[int, int, str]] = field(default_factory=list)
+
+    def keyword_text(self) -> str:
+        """Concept surfaces joined — the keyword-engine fallback form."""
+        if not self.concepts:
+            return self.text
+        return " ".join(concept.surface for concept in self.concepts)
+
+
+class QueryParser:
+    """Applies the trained extraction models to free-text queries.
+
+    Args:
+        ner: trained :class:`NerTagger`.
+        temporal: trained :class:`TemporalClassifier`, or None to skip
+            relation extraction (keyword-only degradation).
+    """
+
+    def __init__(self, ner: NerTagger, temporal: TemporalClassifier | None):
+        self._ner = ner
+        self._temporal = temporal
+
+    def parse(self, query_text: str) -> ParsedQuery:
+        """Extract concepts and relations from a query string."""
+        parsed = ParsedQuery(text=query_text)
+        spans = self._ner.predict_spans(query_text)
+        for span in spans:
+            parsed.concepts.append(
+                QueryConceptMention(
+                    span.text, span.label, span.start, span.end
+                )
+            )
+        if self._temporal is not None:
+            parsed.relations = self._extract_relations(query_text, parsed)
+        return parsed
+
+    def _extract_relations(
+        self, query_text: str, parsed: ParsedQuery
+    ) -> list[tuple[int, int, str]]:
+        event_indices = [
+            i
+            for i, concept in enumerate(parsed.concepts)
+            if is_event_label(concept.entity_type)
+        ]
+        if len(event_indices) < 2:
+            return []
+        doc = AnnotationDocument(doc_id="query", text=query_text)
+        span_ids = {}
+        for i in event_indices:
+            concept = parsed.concepts[i]
+            tb = doc.add_textbound(
+                concept.entity_type, concept.start, concept.end
+            )
+            span_ids[i] = tb.ann_id
+        pairs = []
+        for a_pos, i in enumerate(event_indices):
+            for b_pos in range(a_pos + 1, len(event_indices)):
+                j = event_indices[b_pos]
+                pairs.append(
+                    TemporalInstance(
+                        "query",
+                        span_ids[i],
+                        span_ids[j],
+                        self._temporal.labels[0],  # placeholder gold
+                        b_pos - a_pos,
+                    )
+                )
+        tdoc = TemporalDocument("query", doc, [span_ids[i] for i in event_indices], pairs)
+        probs = self._temporal.predict_proba_doc(tdoc)
+        labels = [
+            self._temporal.labels[int(k)] for k in np.argmax(probs, axis=1)
+        ]
+        out = []
+        for pair, label in zip(pairs, labels):
+            src_idx = _index_of(span_ids, pair.src_id)
+            tgt_idx = _index_of(span_ids, pair.tgt_id)
+            out.append((src_idx, tgt_idx, label))
+        return out
+
+
+def _index_of(span_ids: dict[int, str], ann_id: str) -> int:
+    for concept_index, candidate in span_ids.items():
+        if candidate == ann_id:
+            return concept_index
+    raise KeyError(ann_id)

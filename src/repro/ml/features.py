@@ -1,0 +1,98 @@
+"""Feature hashing: string features -> fixed-width sparse vectors.
+
+Both extraction models operate on hand-built string features
+("w=fever", "suffix3=ver", "prev_w=had").  The hasher maps each string
+into ``[0, n_features)`` with a signed hash so collisions partially
+cancel, the standard hashing-trick construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping
+
+import numpy as np
+from scipy import sparse
+
+
+def hash_feature(feature: str, n_features: int) -> tuple[int, float]:
+    """Map a feature string to ``(index, sign)`` deterministically.
+
+    Uses blake2b (stable across processes, unlike ``hash()``) with the
+    last byte deciding the sign.
+    """
+    digest = hashlib.blake2b(feature.encode("utf-8"), digest_size=9).digest()
+    index = int.from_bytes(digest[:8], "little") % n_features
+    sign = 1.0 if digest[8] & 1 else -1.0
+    return index, sign
+
+
+class FeatureHasher:
+    """Vectorizes dicts/iterables of string features into CSR matrices.
+
+    Example:
+        >>> hasher = FeatureHasher(n_features=1 << 18)
+        >>> X = hasher.transform([{"w=fever": 1.0}, {"w=cough": 1.0}])
+        >>> X.shape
+        (2, 262144)
+    """
+
+    def __init__(self, n_features: int = 1 << 18, signed: bool = True):
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        self.n_features = n_features
+        self.signed = signed
+        self._cache: dict[str, tuple[int, float]] = {}
+
+    def index(self, feature: str) -> tuple[int, float]:
+        """Hashed ``(index, sign)`` of one feature string, memoized."""
+        cached = self._cache.get(feature)
+        if cached is None:
+            index, sign = hash_feature(feature, self.n_features)
+            if not self.signed:
+                sign = 1.0
+            cached = (index, sign)
+            # Bound the memo so long corpus runs cannot grow unboundedly.
+            if len(self._cache) < 1_000_000:
+                self._cache[feature] = cached
+        return cached
+
+    def transform(
+        self, rows: Iterable[Mapping[str, float] | Iterable[str]]
+    ) -> sparse.csr_matrix:
+        """Vectorize feature rows into a CSR matrix.
+
+        Each row may be a mapping feature->value or a plain iterable of
+        feature strings (implying value 1.0).
+        """
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        for row in rows:
+            items = (
+                row.items()
+                if isinstance(row, Mapping)
+                else ((feat, 1.0) for feat in row)
+            )
+            for feature, value in items:
+                idx, sign = self.index(feature)
+                indices.append(idx)
+                data.append(sign * value)
+            indptr.append(len(indices))
+        matrix = sparse.csr_matrix(
+            (
+                np.asarray(data, dtype=np.float64),
+                np.asarray(indices, dtype=np.int64),
+                np.asarray(indptr, dtype=np.int64),
+            ),
+            shape=(len(indptr) - 1, self.n_features),
+        )
+        matrix.sum_duplicates()
+        return matrix
+
+    def indices_of(self, features: Iterable[str]) -> np.ndarray:
+        """Hashed indices (signs dropped) for sequence models that score
+        by index lookup rather than matrix product."""
+        return np.asarray(
+            [self.index(feat)[0] for feat in features], dtype=np.int64
+        )

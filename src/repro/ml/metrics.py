@@ -1,0 +1,214 @@
+"""Evaluation metrics: classification, span extraction, and retrieval.
+
+Every experiment in EXPERIMENTS.md reports numbers computed here, so
+the implementations follow the standard definitions exactly (micro/
+macro P-R-F1, exact-span matching for NER, binary-relevance IR metrics).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class PRF1:
+    """Precision / recall / F1 triple with its support counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    predicted: int
+    gold: int
+
+    @classmethod
+    def from_counts(cls, tp: int, predicted: int, gold: int) -> "PRF1":
+        precision = tp / predicted if predicted else 0.0
+        recall = tp / gold if gold else 0.0
+        if precision + recall > 0:
+            f1 = 2 * precision * recall / (precision + recall)
+        else:
+            f1 = 0.0
+        return cls(precision, recall, f1, tp, predicted, gold)
+
+
+def confusion_matrix(
+    gold: Sequence[Hashable], predicted: Sequence[Hashable]
+) -> dict[tuple[Hashable, Hashable], int]:
+    """Sparse confusion counts keyed by ``(gold_label, predicted_label)``."""
+    if len(gold) != len(predicted):
+        raise ValueError(
+            f"length mismatch: {len(gold)} gold vs {len(predicted)} predicted"
+        )
+    counts: Counter[tuple[Hashable, Hashable]] = Counter(zip(gold, predicted))
+    return dict(counts)
+
+
+def classification_f1(
+    gold: Sequence[Hashable],
+    predicted: Sequence[Hashable],
+    average: str = "micro",
+    exclude: frozenset | None = None,
+) -> PRF1:
+    """Multi-class P/R/F1.
+
+    Args:
+        gold / predicted: aligned label sequences.
+        average: ``"micro"`` (pool counts over classes) or ``"macro"``
+            (mean of per-class F1s).
+        exclude: labels ignored on both sides (e.g. the NONE relation
+            class, matching how temporal RE is scored in I2B2/TB-Dense).
+    """
+    if len(gold) != len(predicted):
+        raise ValueError("gold/predicted length mismatch")
+    exclude = exclude or frozenset()
+    labels = (set(gold) | set(predicted)) - exclude
+    per_class: dict[Hashable, PRF1] = {}
+    for label in labels:
+        tp = sum(
+            1 for g, p in zip(gold, predicted) if g == label and p == label
+        )
+        pred = sum(1 for p in predicted if p == label)
+        gld = sum(1 for g in gold if g == label)
+        per_class[label] = PRF1.from_counts(tp, pred, gld)
+
+    if average == "micro":
+        tp = sum(score.true_positives for score in per_class.values())
+        pred = sum(score.predicted for score in per_class.values())
+        gld = sum(score.gold for score in per_class.values())
+        return PRF1.from_counts(tp, pred, gld)
+    if average == "macro":
+        if not per_class:
+            return PRF1.from_counts(0, 0, 0)
+        precision = float(
+            np.mean([s.precision for s in per_class.values()])
+        )
+        recall = float(np.mean([s.recall for s in per_class.values()]))
+        f1 = float(np.mean([s.f1 for s in per_class.values()]))
+        tp = sum(score.true_positives for score in per_class.values())
+        pred = sum(score.predicted for score in per_class.values())
+        gld = sum(score.gold for score in per_class.values())
+        return PRF1(precision, recall, f1, tp, pred, gld)
+    raise ValueError(f"unknown average mode: {average!r}")
+
+
+def per_class_f1(
+    gold: Sequence[Hashable], predicted: Sequence[Hashable]
+) -> dict[Hashable, PRF1]:
+    """Per-class P/R/F1 table (for classification reports)."""
+    labels = set(gold) | set(predicted)
+    report = {}
+    for label in sorted(labels, key=str):
+        tp = sum(
+            1 for g, p in zip(gold, predicted) if g == label and p == label
+        )
+        pred = sum(1 for p in predicted if p == label)
+        gld = sum(1 for g in gold if g == label)
+        report[label] = PRF1.from_counts(tp, pred, gld)
+    return report
+
+
+def span_prf1(
+    gold_spans: Sequence[Sequence[tuple[int, int, str]]],
+    predicted_spans: Sequence[Sequence[tuple[int, int, str]]],
+) -> PRF1:
+    """Exact-match span F1 over a corpus (the standard NER metric).
+
+    Args:
+        gold_spans / predicted_spans: per-document lists of
+            ``(start, end, label)`` triples.
+    """
+    if len(gold_spans) != len(predicted_spans):
+        raise ValueError("document count mismatch")
+    tp = 0
+    n_pred = 0
+    n_gold = 0
+    for gold_doc, pred_doc in zip(gold_spans, predicted_spans):
+        gold_set = set(gold_doc)
+        pred_set = set(pred_doc)
+        tp += len(gold_set & pred_set)
+        n_pred += len(pred_set)
+        n_gold += len(gold_set)
+    return PRF1.from_counts(tp, n_pred, n_gold)
+
+
+# -- retrieval metrics ----------------------------------------------------
+
+
+def precision_at_k(
+    ranked_ids: Sequence[Hashable], relevant: frozenset | set, k: int
+) -> float:
+    """Fraction of the top-k results that are relevant."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top = ranked_ids[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for doc_id in top if doc_id in relevant)
+    return hits / k
+
+
+def recall_at_k(
+    ranked_ids: Sequence[Hashable], relevant: frozenset | set, k: int
+) -> float:
+    """Fraction of all relevant documents found in the top-k."""
+    if not relevant:
+        return 0.0
+    hits = sum(1 for doc_id in ranked_ids[:k] if doc_id in relevant)
+    return hits / len(relevant)
+
+
+def average_precision(
+    ranked_ids: Sequence[Hashable], relevant: frozenset | set
+) -> float:
+    """AP: mean of precision values at each relevant rank."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for rank, doc_id in enumerate(ranked_ids, start=1):
+        if doc_id in relevant:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant)
+
+
+def reciprocal_rank(
+    ranked_ids: Sequence[Hashable], relevant: frozenset | set
+) -> float:
+    """1/rank of the first relevant result (0 when none appears)."""
+    for rank, doc_id in enumerate(ranked_ids, start=1):
+        if doc_id in relevant:
+            return 1.0 / rank
+    return 0.0
+
+
+def ndcg_at_k(
+    ranked_ids: Sequence[Hashable],
+    gains: dict[Hashable, float],
+    k: int,
+) -> float:
+    """Normalized discounted cumulative gain with graded relevance.
+
+    Args:
+        ranked_ids: system ranking.
+        gains: doc id -> graded relevance (missing ids imply 0).
+        k: cutoff.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+
+    def dcg(sequence: Sequence[float]) -> float:
+        return float(
+            sum(g / np.log2(i + 2) for i, g in enumerate(sequence[:k]))
+        )
+
+    achieved = dcg([gains.get(doc_id, 0.0) for doc_id in ranked_ids])
+    ideal = dcg(sorted(gains.values(), reverse=True))
+    if ideal == 0.0:
+        return 0.0
+    return achieved / ideal

@@ -1,0 +1,340 @@
+"""Model persistence: save/load for the trained extraction stack.
+
+The paper distributes its pretrained C-FLAIR model as a download; the
+library equivalent is deterministic on-disk serialization for every
+trained component.  Formats are open (``.npz`` arrays + ``.json``
+metadata, no pickle), so saved models are portable and inspectable.
+
+Large hashed weight tables are stored sparsely (only rows touched
+during training), which keeps saved taggers small.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.ml.crf import LinearChainCRF
+from repro.ml.embeddings import CharNgramEmbedder
+from repro.ml.logistic import LogisticRegression
+
+_FORMAT_VERSION = 1
+
+
+def _dump_json(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def _load_json(path: Path) -> dict:
+    if not path.exists():
+        raise ModelError(f"missing model file: {path}")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+# -- CRF ---------------------------------------------------------------------
+
+
+def save_crf(model: LinearChainCRF, directory: str | Path) -> Path:
+    """Persist a trained CRF under ``directory`` (created if needed)."""
+    if model._emit is None:
+        raise ModelError("cannot save an unfitted CRF")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    nonzero_rows = np.flatnonzero(np.abs(model._emit).sum(axis=1))
+    np.savez_compressed(
+        directory / "crf.npz",
+        emit_rows=nonzero_rows,
+        emit_values=model._emit[nonzero_rows],
+        trans=model._trans,
+        start=model._start,
+        end=model._end,
+    )
+    _dump_json(
+        directory / "crf.json",
+        {
+            "format_version": _FORMAT_VERSION,
+            "labels": model.labels,
+            "n_features": model.n_features,
+            "epochs": model.epochs,
+            "learning_rate": model.learning_rate,
+            "l2": model.l2,
+            "seed": model.seed,
+        },
+    )
+    return directory
+
+
+def load_crf(directory: str | Path) -> LinearChainCRF:
+    """Rebuild a CRF saved by :func:`save_crf`."""
+    directory = Path(directory)
+    meta = _load_json(directory / "crf.json")
+    arrays = np.load(directory / "crf.npz")
+    model = LinearChainCRF(
+        n_features=meta["n_features"],
+        epochs=meta["epochs"],
+        learning_rate=meta["learning_rate"],
+        l2=meta["l2"],
+        seed=meta["seed"],
+    )
+    model.labels = list(meta["labels"])
+    model._label_index = {label: i for i, label in enumerate(model.labels)}
+    emit = np.zeros((meta["n_features"], len(model.labels)))
+    emit[arrays["emit_rows"]] = arrays["emit_values"]
+    model._emit = emit
+    model._trans = arrays["trans"]
+    model._start = arrays["start"]
+    model._end = arrays["end"]
+    return model
+
+
+# -- embedder -----------------------------------------------------------------
+
+
+def save_embedder(embedder: CharNgramEmbedder, directory: str | Path) -> Path:
+    """Persist a fitted embedder (gram table, hyperplanes, clusters)."""
+    embedder._require_fitted()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {
+        "gram_vectors": embedder._gram_vectors,
+        "hyperplanes": embedder._hyperplanes,
+    }
+    cluster_ks = sorted(embedder._centroids)
+    for k in cluster_ks:
+        arrays[f"centroids_{k}"] = embedder._centroids[k]
+    np.savez_compressed(directory / "embedder.npz", **arrays)
+    _dump_json(
+        directory / "embedder.json",
+        {
+            "format_version": _FORMAT_VERSION,
+            "dim": embedder.dim,
+            "min_gram": embedder.min_gram,
+            "max_gram": embedder.max_gram,
+            "window": embedder.window,
+            "max_context_words": embedder.max_context_words,
+            "decay": embedder.decay,
+            "n_bits": embedder.n_bits,
+            "seed": embedder.seed,
+            "gram_index": embedder._gram_index,
+            "pretrain_tokens": embedder._pretrain_tokens,
+            "cluster_ks": cluster_ks,
+        },
+    )
+    return directory
+
+
+def load_embedder(directory: str | Path) -> CharNgramEmbedder:
+    """Rebuild an embedder saved by :func:`save_embedder`."""
+    directory = Path(directory)
+    meta = _load_json(directory / "embedder.json")
+    arrays = np.load(directory / "embedder.npz")
+    embedder = CharNgramEmbedder(
+        dim=meta["dim"],
+        min_gram=meta["min_gram"],
+        max_gram=meta["max_gram"],
+        window=meta["window"],
+        max_context_words=meta["max_context_words"],
+        decay=meta["decay"],
+        n_bits=meta["n_bits"],
+        seed=meta["seed"],
+    )
+    embedder._gram_index = dict(meta["gram_index"])
+    embedder._gram_vectors = arrays["gram_vectors"]
+    embedder._hyperplanes = arrays["hyperplanes"]
+    embedder._pretrain_tokens = list(meta["pretrain_tokens"])
+    embedder._centroids = {
+        k: arrays[f"centroids_{k}"] for k in meta["cluster_ks"]
+    }
+    return embedder
+
+
+# -- logistic regression --------------------------------------------------------
+
+
+def save_logistic(model: LogisticRegression, directory: str | Path) -> Path:
+    """Persist a trained logistic regression."""
+    model.require_fitted()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    nonzero_rows = np.flatnonzero(np.abs(model.weights).sum(axis=1) > 1e-12)
+    np.savez_compressed(
+        directory / "logistic.npz",
+        weight_rows=nonzero_rows,
+        weight_values=model.weights[nonzero_rows],
+        bias=model.bias,
+    )
+    _dump_json(
+        directory / "logistic.json",
+        {
+            "format_version": _FORMAT_VERSION,
+            "n_classes": model.n_classes,
+            "n_features": model.n_features,
+            "learning_rate": model.learning_rate,
+            "l2": model.l2,
+        },
+    )
+    return directory
+
+
+def load_logistic(directory: str | Path) -> LogisticRegression:
+    """Rebuild a logistic regression saved by :func:`save_logistic`."""
+    directory = Path(directory)
+    meta = _load_json(directory / "logistic.json")
+    arrays = np.load(directory / "logistic.npz")
+    model = LogisticRegression(
+        n_classes=meta["n_classes"],
+        n_features=meta["n_features"],
+        learning_rate=meta["learning_rate"],
+        l2=meta["l2"],
+    )
+    weights = np.zeros((meta["n_features"], meta["n_classes"]))
+    weights[arrays["weight_rows"]] = arrays["weight_values"]
+    model.weights = weights
+    model.bias = arrays["bias"]
+    model._fitted = True
+    return model
+
+
+# -- high-level: tagger / classifier / extractor -----------------------------------
+
+
+def save_ner_tagger(tagger, directory: str | Path) -> Path:
+    """Persist a trained :class:`repro.ner.NerTagger`."""
+    from repro.ner.tagger import NerTagger
+
+    if not isinstance(tagger, NerTagger):
+        raise ModelError("save_ner_tagger expects a NerTagger")
+    if tagger._model is None:
+        raise ModelError("cannot save an unfitted NerTagger")
+    if not isinstance(tagger._model, LinearChainCRF):
+        raise ModelError("only CRF-decoder taggers support persistence")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_crf(tagger._model, directory)
+    has_embedder = (
+        tagger.use_context_embeddings and tagger.embedder is not None
+    )
+    if has_embedder:
+        save_embedder(tagger.embedder, directory)
+    _dump_json(
+        directory / "tagger.json",
+        {
+            "format_version": _FORMAT_VERSION,
+            "decoder": tagger.decoder,
+            "use_context_embeddings": tagger.use_context_embeddings,
+            "embedding_feature_mode": tagger.embedding_feature_mode,
+            "epochs": tagger.epochs,
+            "n_features": tagger.n_features,
+            "seed": tagger.seed,
+            "has_embedder": has_embedder,
+        },
+    )
+    return directory
+
+
+def load_ner_tagger(directory: str | Path):
+    """Rebuild a tagger saved by :func:`save_ner_tagger`."""
+    from repro.ner.tagger import NerTagger
+
+    directory = Path(directory)
+    meta = _load_json(directory / "tagger.json")
+    embedder = load_embedder(directory) if meta["has_embedder"] else None
+    tagger = NerTagger(
+        decoder=meta["decoder"],
+        use_context_embeddings=meta["use_context_embeddings"],
+        embedding_feature_mode=meta["embedding_feature_mode"],
+        embedder=embedder,
+        epochs=meta["epochs"],
+        n_features=meta["n_features"],
+        seed=meta["seed"],
+    )
+    tagger._model = load_crf(directory)
+    return tagger
+
+
+def save_temporal_classifier(classifier, directory: str | Path) -> Path:
+    """Persist a trained :class:`repro.temporal.TemporalClassifier`."""
+    from repro.temporal.classifier import TemporalClassifier
+
+    if not isinstance(classifier, TemporalClassifier):
+        raise ModelError("expected a TemporalClassifier")
+    if classifier.model is None:
+        raise ModelError("cannot save an unfitted TemporalClassifier")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_logistic(classifier.model, directory)
+    _dump_json(
+        directory / "temporal.json",
+        {
+            "format_version": _FORMAT_VERSION,
+            "labels": classifier.labels,
+            "n_features": classifier.n_features,
+            "epochs": classifier.epochs,
+            "learning_rate": classifier.learning_rate,
+            "l2": classifier.l2,
+            "seed": classifier.seed,
+        },
+    )
+    return directory
+
+
+def load_temporal_classifier(directory: str | Path):
+    """Rebuild a classifier saved by :func:`save_temporal_classifier`."""
+    from repro.temporal.classifier import TemporalClassifier
+
+    directory = Path(directory)
+    meta = _load_json(directory / "temporal.json")
+    classifier = TemporalClassifier(
+        n_features=meta["n_features"],
+        epochs=meta["epochs"],
+        learning_rate=meta["learning_rate"],
+        l2=meta["l2"],
+        seed=meta["seed"],
+    )
+    classifier.labels = list(meta["labels"])
+    classifier._label_index = {
+        label: i for i, label in enumerate(classifier.labels)
+    }
+    classifier.model = load_logistic(directory)
+    return classifier
+
+
+def save_extractor(extractor, directory: str | Path) -> Path:
+    """Persist a full :class:`repro.pipeline.ClinicalExtractor`."""
+    directory = Path(directory)
+    save_ner_tagger(extractor.ner, directory / "ner")
+    if extractor.temporal is not None:
+        save_temporal_classifier(extractor.temporal, directory / "temporal")
+    _dump_json(
+        directory / "extractor.json",
+        {
+            "format_version": _FORMAT_VERSION,
+            "use_global_inference": extractor.use_global_inference,
+            "max_pair_distance": extractor.max_pair_distance,
+            "has_temporal": extractor.temporal is not None,
+        },
+    )
+    return directory
+
+
+def load_extractor(directory: str | Path):
+    """Rebuild an extractor saved by :func:`save_extractor`."""
+    from repro.pipeline import ClinicalExtractor
+
+    directory = Path(directory)
+    meta = _load_json(directory / "extractor.json")
+    ner = load_ner_tagger(directory / "ner")
+    temporal = (
+        load_temporal_classifier(directory / "temporal")
+        if meta["has_temporal"]
+        else None
+    )
+    return ClinicalExtractor(
+        ner,
+        temporal,
+        use_global_inference=meta["use_global_inference"],
+        max_pair_distance=meta["max_pair_distance"],
+    )

@@ -1,0 +1,25 @@
+"""Named entity recognition: CREATe-IR's first extraction module.
+
+Implements the paper's C-FLAIR role — "contextualized token
+representations to locate and classify clinical terminologies into
+predefined categories" — as a CRF over hashed lexical features enriched
+with pretrained char-n-gram contextual embeddings, plus the baselines
+the benchmarks compare against (gazetteer lookup, averaged structured
+perceptron, plain CRF).
+"""
+
+from repro.ner.encoding import bio_encode, bio_decode, spans_of_document
+from repro.ner.tagger import NerTagger, TaggedSpan
+from repro.ner.baseline import LexiconTagger
+from repro.ner.negation import NegationDetector, NegatedSpan
+
+__all__ = [
+    "bio_encode",
+    "bio_decode",
+    "spans_of_document",
+    "NerTagger",
+    "TaggedSpan",
+    "LexiconTagger",
+    "NegationDetector",
+    "NegatedSpan",
+]

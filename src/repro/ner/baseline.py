@@ -1,0 +1,81 @@
+"""Gazetteer baseline tagger: longest-match lexicon lookup.
+
+The weakest comparison point in the NER benchmark: memorize every
+training span surface, tag test text by case-insensitive longest match.
+Strong on seen vocabulary, zero generalization — exactly the failure
+mode contextual models exist to fix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.annotation.model import AnnotationDocument
+from repro.ner.encoding import spans_of_document
+from repro.text.tokenize import Token, tokenize
+
+
+class LexiconTagger:
+    """Longest-match gazetteer tagger."""
+
+    def __init__(self):
+        # surface (lowered, token-joined) -> label
+        self._entries: dict[tuple[str, ...], str] = {}
+        self._max_len = 0
+
+    def fit(self, docs: Sequence[AnnotationDocument]) -> "LexiconTagger":
+        """Memorize every gold span surface from the training documents.
+
+        On conflicting labels for one surface, the majority label wins.
+        """
+        votes: dict[tuple[str, ...], dict[str, int]] = {}
+        for doc in docs:
+            tokens = tokenize(doc.text)
+            for start, end, label in spans_of_document(doc):
+                words = tuple(
+                    t.lower for t in tokens if t.overlaps(start, end)
+                )
+                if not words:
+                    continue
+                votes.setdefault(words, {}).setdefault(label, 0)
+                votes[words][label] += 1
+        for words, labels in votes.items():
+            best = max(sorted(labels), key=lambda lab: labels[lab])
+            self._entries[words] = best
+            self._max_len = max(self._max_len, len(words))
+        return self
+
+    def predict_spans(self, text: str) -> list[tuple[int, int, str]]:
+        """Longest-match tagging of raw text."""
+        tokens = tokenize(text)
+        return self._match(tokens)
+
+    def predict_document(
+        self, doc: AnnotationDocument
+    ) -> list[tuple[int, int, str]]:
+        """Tag a document's text (gold annotations unused)."""
+        return self.predict_spans(doc.text)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self._entries)
+
+    def _match(self, tokens: list[Token]) -> list[tuple[int, int, str]]:
+        spans = []
+        i = 0
+        while i < len(tokens):
+            matched = False
+            limit = min(self._max_len, len(tokens) - i)
+            for size in range(limit, 0, -1):
+                words = tuple(t.lower for t in tokens[i : i + size])
+                label = self._entries.get(words)
+                if label is not None:
+                    spans.append(
+                        (tokens[i].start, tokens[i + size - 1].end, label)
+                    )
+                    i += size
+                    matched = True
+                    break
+            if not matched:
+                i += 1
+        return spans

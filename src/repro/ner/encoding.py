@@ -1,0 +1,84 @@
+"""BIO span encoding for sequence labeling.
+
+Converts between character-offset entity spans and per-token BIO tags,
+the lingua franca between annotation documents and sequence models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.annotation.model import AnnotationDocument
+from repro.annotation.spans import align_to_tokens
+from repro.text.tokenize import Token
+
+OUTSIDE = "O"
+
+
+def bio_encode(
+    tokens: Sequence[Token], spans: Sequence[tuple[int, int, str]]
+) -> list[str]:
+    """Token-level BIO tags for character spans.
+
+    Overlapping spans are resolved longest-first (ties: earliest);
+    later (shorter) spans that collide with an already-tagged token are
+    dropped, matching common NER preprocessing.
+    """
+    labels = [OUTSIDE] * len(tokens)
+    ordered = sorted(
+        spans, key=lambda span: (-(span[1] - span[0]), span[0])
+    )
+    for start, end, label in ordered:
+        bounds = align_to_tokens((start, end), tokens)
+        if bounds is None:
+            continue
+        first, last = bounds
+        if any(labels[i] != OUTSIDE for i in range(first, last + 1)):
+            continue
+        labels[first] = f"B-{label}"
+        for i in range(first + 1, last + 1):
+            labels[i] = f"I-{label}"
+    return labels
+
+
+def bio_decode(
+    tokens: Sequence[Token], labels: Sequence[str]
+) -> list[tuple[int, int, str]]:
+    """Character spans from BIO tags.
+
+    Tolerates ill-formed sequences (an ``I-`` without a preceding
+    ``B-`` of the same type opens a new span), the standard lenient
+    decoding.
+    """
+    if len(tokens) != len(labels):
+        raise ValueError("tokens/labels length mismatch")
+    spans: list[tuple[int, int, str]] = []
+    open_label: str | None = None
+    open_start = 0
+    open_end = 0
+
+    def close() -> None:
+        nonlocal open_label
+        if open_label is not None:
+            spans.append((open_start, open_end, open_label))
+            open_label = None
+
+    for token, tag in zip(tokens, labels):
+        if tag == OUTSIDE or not tag:
+            close()
+            continue
+        prefix, _, label = tag.partition("-")
+        if prefix == "B" or open_label != label:
+            close()
+            open_label = label
+            open_start = token.start
+        open_end = token.end
+    close()
+    return spans
+
+
+def spans_of_document(doc: AnnotationDocument) -> list[tuple[int, int, str]]:
+    """Gold ``(start, end, label)`` triples of an annotation document."""
+    return [
+        (tb.start, tb.end, tb.label) for tb in doc.spans_sorted()
+    ]

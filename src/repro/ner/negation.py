@@ -1,0 +1,136 @@
+"""Assertion detection: a NegEx-style negation scope detector.
+
+Clinical narratives routinely *deny* findings ("the patient denied
+chest pain", "no fever on admission"); indexing those mentions as
+positive events corrupts retrieval.  This module implements the core
+of the NegEx algorithm (Chapman et al., 2001): trigger phrases with
+forward or backward scope over a bounded token window, terminated by
+conjunctions and scope breakers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.text.tokenize import Token, tokenize
+
+# Trigger phrase -> scope direction.  Forward triggers negate following
+# tokens; backward triggers negate preceding tokens.
+_FORWARD_TRIGGERS: tuple[tuple[str, ...], ...] = (
+    ("no",),
+    ("denied",),
+    ("denies",),
+    ("without",),
+    ("absence", "of"),
+    ("negative", "for"),
+    ("no", "evidence", "of"),
+    ("ruled", "out"),
+    ("free", "of"),
+)
+
+_BACKWARD_TRIGGERS: tuple[tuple[str, ...], ...] = (
+    ("was", "ruled", "out"),
+    ("were", "ruled", "out"),
+    ("was", "absent"),
+    ("were", "absent"),
+    ("resolved",),
+)
+
+# Words that terminate a negation scope early.
+_SCOPE_BREAKERS = frozenset(
+    {"but", "however", "although", "except", "aside", ".", ";", ":"}
+)
+
+_DEFAULT_SCOPE = 6  # tokens
+
+
+@dataclass(frozen=True, slots=True)
+class NegatedSpan:
+    """A character range under negation scope."""
+
+    start: int
+    end: int
+    trigger: str
+
+
+class NegationDetector:
+    """Detects negation scopes in clinical text.
+
+    Example:
+        >>> detector = NegationDetector()
+        >>> scopes = detector.detect("The patient denied chest pain.")
+        >>> any(s.start <= 19 < s.end for s in scopes)
+        True
+    """
+
+    def __init__(self, scope_tokens: int = _DEFAULT_SCOPE):
+        self.scope_tokens = scope_tokens
+
+    def detect(self, text: str) -> list[NegatedSpan]:
+        """All negated character ranges in ``text``."""
+        tokens = tokenize(text)
+        lowered = [token.lower for token in tokens]
+        scopes: list[NegatedSpan] = []
+        for index in range(len(tokens)):
+            for trigger in _FORWARD_TRIGGERS:
+                if tuple(lowered[index : index + len(trigger)]) == trigger:
+                    scope = self._forward_scope(
+                        tokens, lowered, index + len(trigger)
+                    )
+                    if scope is not None:
+                        scopes.append(
+                            NegatedSpan(scope[0], scope[1], " ".join(trigger))
+                        )
+            for trigger in _BACKWARD_TRIGGERS:
+                if tuple(lowered[index : index + len(trigger)]) == trigger:
+                    scope = self._backward_scope(tokens, lowered, index)
+                    if scope is not None:
+                        scopes.append(
+                            NegatedSpan(scope[0], scope[1], " ".join(trigger))
+                        )
+        return scopes
+
+    def is_negated(self, text: str, start: int, end: int) -> bool:
+        """Is the span [start, end) inside any negation scope?"""
+        return self.span_negated((start, end), self.detect(text))
+
+    @staticmethod
+    def span_negated(
+        span: tuple[int, int], scopes: Sequence[NegatedSpan]
+    ) -> bool:
+        """Scope-overlap test against precomputed scopes."""
+        return any(
+            scope.start < span[1] and span[0] < scope.end
+            for scope in scopes
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _forward_scope(
+        self, tokens: list[Token], lowered: list[str], begin: int
+    ) -> tuple[int, int] | None:
+        end_index = begin
+        while (
+            end_index < len(tokens)
+            and end_index - begin < self.scope_tokens
+            and lowered[end_index] not in _SCOPE_BREAKERS
+        ):
+            end_index += 1
+        if end_index == begin:
+            return None
+        return (tokens[begin].start, tokens[end_index - 1].end)
+
+    def _backward_scope(
+        self, tokens: list[Token], lowered: list[str], trigger_index: int
+    ) -> tuple[int, int] | None:
+        begin = trigger_index
+        while (
+            begin > 0
+            and trigger_index - begin < self.scope_tokens
+            and lowered[begin - 1] not in _SCOPE_BREAKERS
+        ):
+            begin -= 1
+        if begin == trigger_index:
+            return None
+        return (tokens[begin].start, tokens[trigger_index - 1].end)

@@ -1,0 +1,22 @@
+"""Biomedical ontology substrate: concept standardization.
+
+The paper standardizes extracted concepts "against existing biomedical
+ontology to make the metadata interoperable" (UMLS-style).  This
+package supplies that layer offline: a mini-ontology of clinical
+concepts with CUI-like identifiers, preferred names, synonym sets and
+semantic types, plus a normalizer that maps surface mentions onto
+concept ids (exact -> stemmed -> fuzzy).  The CREATe-IR indexer stamps
+every graph node with its ``conceptId``, and graph search matches
+synonym mentions through it.
+"""
+
+from repro.ontology.concepts import Concept, MiniOntology, build_default_ontology
+from repro.ontology.normalize import ConceptNormalizer, NormalizedConcept
+
+__all__ = [
+    "Concept",
+    "MiniOntology",
+    "build_default_ontology",
+    "ConceptNormalizer",
+    "NormalizedConcept",
+]

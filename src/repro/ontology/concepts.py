@@ -1,0 +1,149 @@
+"""The mini-ontology: concepts, synonyms, semantic types.
+
+Concept identifiers follow a UMLS-CUI-like shape (``C0000042``).  The
+default ontology is built from the corpus lexicon — every lexicon term
+becomes (or joins) a concept — plus a curated table of clinical synonym
+groups (the interoperability payload: "dyspnea" and "shortness of
+breath" are one concept).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.lexicon import LEXICON, Lexicon
+
+# Curated synonym groups: first member is the preferred name.
+_SYNONYM_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("dyspnea", "shortness of breath", "breathlessness"),
+    ("myocardial infarction", "heart attack", "MI"),
+    ("atrial fibrillation", "AF", "a-fib"),
+    ("hypertension", "high blood pressure", "elevated blood pressure"),
+    ("hypotension", "low blood pressure"),
+    ("syncope", "fainting", "loss of consciousness"),
+    ("electrocardiogram", "ECG", "EKG"),
+    ("transthoracic echocardiogram", "echocardiogram", "echo"),
+    ("cerebrovascular accident", "ischemic stroke", "stroke"),
+    ("pyrexia", "fever", "febrile episode"),
+    ("tachycardia", "rapid heart rate"),
+    ("bradycardia", "slow heart rate"),
+    ("percutaneous coronary intervention", "PCI", "angioplasty"),
+    ("coronary artery bypass grafting", "CABG", "bypass surgery"),
+    ("acetylsalicylic acid", "aspirin", "ASA"),
+    ("edema", "swelling", "peripheral edema"),
+    ("vertigo", "dizziness"),
+    ("emesis", "vomiting"),
+    ("cephalalgia", "headache"),
+    ("diaphoresis", "sweating", "night sweats"),
+)
+
+_SEMANTIC_TYPE_BY_SOURCE = {
+    "sign_symptoms": "Sign or Symptom",
+    "diseases": "Disease or Syndrome",
+    "medications": "Pharmacologic Substance",
+    "diagnostic_procedures": "Diagnostic Procedure",
+    "therapeutic_procedures": "Therapeutic Procedure",
+    "lab_values": "Laboratory or Test Result",
+    "biological_structures": "Body Part, Organ, or Organ Component",
+}
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One ontology concept."""
+
+    concept_id: str
+    preferred_name: str
+    semantic_type: str
+    synonyms: tuple[str, ...] = ()
+
+    def all_names(self) -> tuple[str, ...]:
+        return (self.preferred_name,) + self.synonyms
+
+
+@dataclass
+class MiniOntology:
+    """Concept registry with name-based lookup tables."""
+
+    concepts: dict[str, Concept] = field(default_factory=dict)
+    _by_name: dict[str, str] = field(default_factory=dict)
+    _counter: int = 0
+
+    def add_concept(
+        self,
+        preferred_name: str,
+        semantic_type: str,
+        synonyms: tuple[str, ...] = (),
+    ) -> Concept:
+        """Register a concept; merging into an existing one when any of
+        its names is already known."""
+        names = (preferred_name,) + tuple(synonyms)
+        existing_id = None
+        for name in names:
+            existing_id = self._by_name.get(name.lower())
+            if existing_id is not None:
+                break
+        if existing_id is not None:
+            current = self.concepts[existing_id]
+            merged_synonyms = tuple(
+                dict.fromkeys(
+                    current.synonyms
+                    + tuple(
+                        n for n in names if n != current.preferred_name
+                    )
+                )
+            )
+            concept = Concept(
+                existing_id,
+                current.preferred_name,
+                current.semantic_type,
+                merged_synonyms,
+            )
+        else:
+            self._counter += 1
+            concept = Concept(
+                f"C{self._counter:07d}",
+                preferred_name,
+                semantic_type,
+                tuple(synonyms),
+            )
+        self.concepts[concept.concept_id] = concept
+        for name in concept.all_names():
+            self._by_name[name.lower()] = concept.concept_id
+        return concept
+
+    def by_name(self, name: str) -> Concept | None:
+        """Exact (case-insensitive) name or synonym lookup."""
+        concept_id = self._by_name.get(name.lower())
+        return self.concepts.get(concept_id) if concept_id else None
+
+    def get(self, concept_id: str) -> Concept | None:
+        return self.concepts.get(concept_id)
+
+    def names(self) -> list[str]:
+        """Every known surface name (lowered)."""
+        return sorted(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self.concepts)
+
+
+def build_default_ontology(lexicon: Lexicon = LEXICON) -> MiniOntology:
+    """The standard ontology: synonym groups + every lexicon term."""
+    ontology = MiniOntology()
+    for group in _SYNONYM_GROUPS:
+        ontology.add_concept(group[0], "Clinical Concept", group[1:])
+    sources = {
+        "sign_symptoms": lexicon.sign_symptoms,
+        "medications": lexicon.medications,
+        "diagnostic_procedures": lexicon.diagnostic_procedures,
+        "therapeutic_procedures": lexicon.therapeutic_procedures,
+        "lab_values": lexicon.lab_values,
+        "biological_structures": lexicon.biological_structures,
+        "diseases": tuple(lexicon.all_diseases()),
+    }
+    for source, terms in sources.items():
+        semantic_type = _SEMANTIC_TYPE_BY_SOURCE[source]
+        for term in terms:
+            ontology.add_concept(term, semantic_type)
+    return ontology

@@ -1,0 +1,118 @@
+"""Concept normalization: surface mention -> ontology concept.
+
+Three tiers, cheapest first:
+
+1. **exact** — case-insensitive name/synonym lookup;
+2. **stemmed** — stemmed-token-set equality (inflection/word-order
+   robust: "fevers" -> fever, "stenosis, aortic" -> aortic stenosis);
+3. **fuzzy** — best stemmed-token Jaccard above a threshold.
+
+Returns the concept and which tier matched, so callers can gate on
+confidence (the indexer stores fuzzy matches too; stricter consumers
+can filter on ``method``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ontology.concepts import MiniOntology, build_default_ontology
+from repro.text.stem import stem
+from repro.text.tokenize import tokenize
+
+
+def _stem_key(surface: str) -> frozenset[str]:
+    return frozenset(
+        stem(token.lower)
+        for token in tokenize(surface)
+        if any(ch.isalnum() for ch in token.text)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class NormalizedConcept:
+    """A normalization result."""
+
+    concept_id: str
+    preferred_name: str
+    method: str  # "exact" | "stemmed" | "fuzzy"
+    score: float
+
+
+class ConceptNormalizer:
+    """Maps mention surfaces onto ontology concepts.
+
+    Example:
+        >>> normalizer = ConceptNormalizer()
+        >>> normalizer.normalize("shortness of breath").preferred_name
+        'dyspnea'
+    """
+
+    def __init__(
+        self,
+        ontology: MiniOntology | None = None,
+        fuzzy_threshold: float = 0.6,
+    ):
+        self.ontology = ontology or build_default_ontology()
+        self.fuzzy_threshold = fuzzy_threshold
+        # Stem-key index over every concept name.
+        self._stem_index: dict[frozenset[str], str] = {}
+        for concept in self.ontology.concepts.values():
+            for name in concept.all_names():
+                key = _stem_key(name)
+                if key:
+                    self._stem_index.setdefault(key, concept.concept_id)
+        self._cache: dict[str, NormalizedConcept | None] = {}
+
+    def normalize(self, surface: str) -> NormalizedConcept | None:
+        """Best concept for ``surface`` or None below threshold."""
+        key = surface.lower().strip()
+        if key in self._cache:
+            return self._cache[key]
+        result = self._normalize_uncached(surface)
+        if len(self._cache) < 200_000:
+            self._cache[key] = result
+        return result
+
+    def _normalize_uncached(self, surface: str) -> NormalizedConcept | None:
+        concept = self.ontology.by_name(surface.strip())
+        if concept is not None:
+            return NormalizedConcept(
+                concept.concept_id, concept.preferred_name, "exact", 1.0
+            )
+
+        stem_key = _stem_key(surface)
+        if stem_key:
+            concept_id = self._stem_index.get(stem_key)
+            if concept_id is not None:
+                concept = self.ontology.concepts[concept_id]
+                return NormalizedConcept(
+                    concept.concept_id,
+                    concept.preferred_name,
+                    "stemmed",
+                    1.0,
+                )
+
+        best_score = 0.0
+        best_id = None
+        for candidate_key, concept_id in self._stem_index.items():
+            union = len(stem_key | candidate_key)
+            if union == 0:
+                continue
+            score = len(stem_key & candidate_key) / union
+            if score > best_score or (
+                score == best_score
+                and best_id is not None
+                and concept_id < best_id
+            ):
+                best_score = score
+                best_id = concept_id
+        if best_id is not None and best_score >= self.fuzzy_threshold:
+            concept = self.ontology.concepts[best_id]
+            return NormalizedConcept(
+                concept.concept_id,
+                concept.preferred_name,
+                "fuzzy",
+                best_score,
+            )
+        return None

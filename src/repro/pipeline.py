@@ -1,0 +1,296 @@
+"""End-to-end orchestration: crawl -> parse -> extract -> index -> serve.
+
+This module wires every subsystem into the architecture of the paper's
+Figures 2/3: the crawler captures publications from the (synthetic)
+PubMed site, the Grobid service converts them to structured text, the
+trained extraction models produce each report's knowledge graph, the
+dual indexer loads the graph and keyword engines, and the application
+facade serves search/annotation/visualization requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.annotation.model import AnnotationDocument
+from repro.api.app import CreateApplication
+from repro.corpus.datasets import TemporalDocument, TemporalInstance
+from repro.corpus.generator import CaseReport, CaseReportGenerator
+from repro.corpus.pubmed import build_corpus
+from repro.crawler.crawler import Crawler
+from repro.crawler.repository import SyntheticPubMed
+from repro.docstore.store import DocumentStore
+from repro.exceptions import PipelineError
+from repro.grobid.service import GrobidService
+from repro.ir.indexer import CreateIrIndexer
+from repro.ir.query_parser import QueryParser
+from repro.ir.searcher import CreateIrSearcher
+from repro.ml.embeddings import CharNgramEmbedder
+from repro.ner.negation import NegationDetector
+from repro.ner.tagger import NerTagger
+from repro.schema.types import is_event_label
+from repro.temporal.classifier import TemporalClassifier
+from repro.temporal.global_inference import global_inference
+from repro.temporal.psl import PslConfig, fit_with_psl
+from repro.temporal.relations import THREE_WAY_ALGEBRA
+from repro.text.tokenize import tokenize
+
+
+class ClinicalExtractor:
+    """NER + temporal RE applied to raw report text.
+
+    The trained extraction stack of CREATe-IR: tags entity/event spans
+    with the C-FLAIR-substitute tagger, classifies temporal relations
+    between nearby events with the PSL-trained classifier, and (by
+    default) enforces global consistency before emitting relations.
+    """
+
+    def __init__(
+        self,
+        ner: NerTagger,
+        temporal: TemporalClassifier | None,
+        use_global_inference: bool = True,
+        max_pair_distance: int = 3,
+    ):
+        self.ner = ner
+        self.temporal = temporal
+        self.use_global_inference = use_global_inference
+        self.max_pair_distance = max_pair_distance
+        self.algebra = THREE_WAY_ALGEBRA
+        self.negation = NegationDetector()
+
+    @classmethod
+    def train(
+        cls,
+        train_reports: list[CaseReport],
+        unlabeled_sentences: list[list[str]] | None = None,
+        seed: int = 13,
+        ner_epochs: int = 5,
+        temporal_epochs: int = 15,
+    ) -> "ClinicalExtractor":
+        """Train both models from gold-annotated reports."""
+        if not train_reports:
+            raise PipelineError("no training reports")
+        embedder = None
+        if unlabeled_sentences:
+            embedder = CharNgramEmbedder(seed=seed).fit(unlabeled_sentences)
+            embedder.fit_clusters()
+        ner = NerTagger(
+            decoder="crf",
+            use_context_embeddings=embedder is not None,
+            embedder=embedder,
+            epochs=ner_epochs,
+            seed=seed,
+        )
+        ner.fit([report.annotations for report in train_reports])
+
+        temporal_docs = [
+            _temporal_doc_from_report(report, max_distance=3)
+            for report in train_reports
+        ]
+        temporal_docs = [doc for doc in temporal_docs if doc.pairs]
+        temporal = None
+        if temporal_docs:
+            temporal = fit_with_psl(
+                TemporalClassifier(epochs=temporal_epochs, seed=seed),
+                temporal_docs,
+                THREE_WAY_ALGEBRA,
+                PslConfig(weight=1.0, epochs=temporal_epochs, seed=seed),
+            )
+        return cls(ner, temporal)
+
+    def extract(self, doc_id: str, text: str) -> AnnotationDocument:
+        """Produce an annotation document for raw text.
+
+        Negated mentions (NegEx-style scope detection) receive a
+        ``Negated`` attribute and are excluded from the temporal event
+        sequence — a denied symptom is not part of the clinical course.
+        """
+        doc = AnnotationDocument(doc_id=doc_id, text=text)
+        scopes = self.negation.detect(text)
+        for span in self.ner.predict_spans(text):
+            tb = doc.add_textbound(span.label, span.start, span.end)
+            if self.negation.span_negated((span.start, span.end), scopes):
+                doc.add_attribute("Negated", tb.ann_id)
+        if self.temporal is None:
+            return doc
+
+        event_ids = [
+            tb.ann_id
+            for tb in doc.spans_sorted()
+            if is_event_label(tb.label) and not doc.is_negated(tb.ann_id)
+        ]
+        pairs = []
+        for i, src_id in enumerate(event_ids):
+            upper = min(i + 1 + self.max_pair_distance, len(event_ids))
+            for j in range(i + 1, upper):
+                pairs.append(
+                    TemporalInstance(
+                        doc_id,
+                        src_id,
+                        event_ids[j],
+                        self.temporal.labels[0],  # placeholder
+                        j - i,
+                    )
+                )
+        if not pairs:
+            return doc
+        tdoc = TemporalDocument(doc_id, doc, event_ids, pairs)
+        probs = self.temporal.predict_proba_doc(tdoc)
+        if self.use_global_inference:
+            labels = global_inference(
+                tdoc, probs, self.temporal.labels, self.algebra
+            )
+        else:
+            labels = [
+                self.temporal.labels[int(k)]
+                for k in np.argmax(probs, axis=1)
+            ]
+        for pair, label in zip(pairs, labels):
+            doc.add_relation(label, pair.src_id, pair.tgt_id)
+        return doc
+
+
+def _temporal_doc_from_report(
+    report: CaseReport, max_distance: int
+) -> TemporalDocument:
+    order = [event.event_id for event in report.timeline.events]
+    pairs = []
+    for i, a in enumerate(report.timeline.events):
+        upper = min(i + 1 + max_distance, len(report.timeline.events))
+        for j in range(i + 1, upper):
+            b = report.timeline.events[j]
+            from repro.corpus.timeline import interval_relation
+
+            pairs.append(
+                TemporalInstance(
+                    report.report_id,
+                    a.event_id,
+                    b.event_id,
+                    interval_relation(a, b),
+                    j - i,
+                )
+            )
+    return TemporalDocument(
+        report.report_id, report.annotations, order, pairs
+    )
+
+
+@dataclass
+class PipelineStats:
+    """Counters from one pipeline run."""
+
+    crawled: int = 0
+    parsed: int = 0
+    parse_failures: int = 0
+    extracted: int = 0
+    indexed: int = 0
+    graph_nodes: int = 0
+    graph_edges: int = 0
+
+
+@dataclass
+class CreatePipeline:
+    """The assembled system, end to end.
+
+    Build with :func:`build_demo_system` for the standard demo
+    configuration, or construct the pieces individually for tests.
+    """
+
+    extractor: ClinicalExtractor
+    store: DocumentStore = field(default_factory=DocumentStore)
+    grobid: GrobidService = field(default_factory=GrobidService)
+    stats: PipelineStats = field(default_factory=PipelineStats)
+
+    def __post_init__(self) -> None:
+        self.indexer = CreateIrIndexer()
+        parser = QueryParser(self.extractor.ner, self.extractor.temporal)
+        self.searcher = CreateIrSearcher(self.indexer, parser=parser)
+        self.app = CreateApplication(
+            store=self.store,
+            indexer=self.indexer,
+            searcher=self.searcher,
+            grobid=self.grobid,
+            extractor=self.extractor.extract,
+        )
+
+    def ingest_from_site(
+        self, site: SyntheticPubMed, max_pages: int | None = None
+    ) -> PipelineStats:
+        """Crawl a site and run every captured publication through
+        parse -> extract -> index -> store."""
+        crawler = Crawler(site)
+        results = crawler.crawl(max_pages=max_pages)
+        self.stats.crawled = len(results)
+        for result in results:
+            try:
+                publication = self.grobid.process(result.body)
+            except Exception:
+                self.stats.parse_failures += 1
+                continue
+            self.stats.parsed += 1
+            text = publication.body_text()
+            doc_id = result.url.rsplit("/", 1)[-1]
+            annotations = self.extractor.extract(doc_id, text)
+            self.stats.extracted += 1
+            document = {
+                "_id": doc_id,
+                "title": publication.metadata.title,
+                "authors": publication.metadata.authors,
+                "abstract": publication.metadata.abstract,
+                "text": text,
+                "source": result.content_type,
+            }
+            self.app.register_report(document, annotations)
+            self.stats.indexed += 1
+        self.stats.graph_nodes = self.indexer.graph.n_nodes
+        self.stats.graph_edges = self.indexer.graph.n_edges
+        return self.stats
+
+
+def build_demo_system(
+    n_reports: int = 100,
+    n_train: int = 60,
+    seed: int = 0,
+    use_gold_annotations: bool = False,
+) -> tuple[CreatePipeline, list[CaseReport]]:
+    """Standard demo configuration: train, crawl, ingest, serve.
+
+    Args:
+        n_reports: size of the served corpus.
+        n_train: gold-annotated reports used to train the extractors
+            (disjoint from the served corpus).
+        use_gold_annotations: index gold annotations instead of running
+            extraction (the "perfect extraction" upper bound).
+
+    Returns:
+        (pipeline, served_reports) — the reports list carries the gold
+        layers for evaluation.
+    """
+    train_generator = CaseReportGenerator(seed=seed + 900)
+    train_reports = [
+        train_generator.generate(f"train-{i:04d}", "cardiovascular")
+        for i in range(n_train)
+    ]
+    unlabeled = [
+        [token.text for token in tokenize(report.text)]
+        for report in train_reports
+    ]
+    extractor = ClinicalExtractor.train(
+        train_reports, unlabeled_sentences=unlabeled, seed=seed + 13
+    )
+    pipeline = CreatePipeline(extractor=extractor)
+
+    reports = build_corpus(n_reports, seed=seed)
+    if use_gold_annotations:
+        for report in reports:
+            pipeline.app.register_report(
+                report.to_document(), report.annotations
+            )
+        pipeline.stats.indexed = len(reports)
+    else:
+        site = SyntheticPubMed(reports, seed=seed)
+        pipeline.ingest_from_site(site)
+    return pipeline, reports

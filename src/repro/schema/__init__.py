@@ -1,0 +1,37 @@
+"""The comprehensive clinical typing schema (Caufield et al., ref [2]).
+
+Defines the EVENT, ENTITY and RELATION label inventories used across
+annotation, extraction, indexing and querying, plus validation of
+annotation structures against the schema.
+"""
+
+from repro.schema.types import (
+    EventType,
+    EntityType,
+    RelationType,
+    TEMPORAL_RELATIONS,
+    SEMANTIC_RELATIONS,
+    ALL_LABELS,
+    label_kind,
+    is_event_label,
+    is_entity_label,
+    SchemaRegistry,
+    DEFAULT_REGISTRY,
+)
+from repro.schema.validation import SchemaValidator, ValidationIssue
+
+__all__ = [
+    "EventType",
+    "EntityType",
+    "RelationType",
+    "TEMPORAL_RELATIONS",
+    "SEMANTIC_RELATIONS",
+    "ALL_LABELS",
+    "label_kind",
+    "is_event_label",
+    "is_entity_label",
+    "SchemaRegistry",
+    "DEFAULT_REGISTRY",
+    "SchemaValidator",
+    "ValidationIssue",
+]

@@ -1,0 +1,179 @@
+"""Label inventories of the clinical typing schema.
+
+The schema follows Caufield et al. (the paper's reference [2], the
+MACCROBAT typing system): EVENTS are trigger spans that advance the
+clinical course; ENTITIES are non-trigger spans playing semantic roles;
+RELATIONS connect events to events or events to entities and are either
+temporal (BEFORE / AFTER / OVERLAP) or semantic (IDENTICAL / MODIFY /
+SUB_PROCEDURE / CAUSES / INDICATES).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import SchemaError
+
+
+class EventType(str, Enum):
+    """Trigger span types: situations that progress the clinical course."""
+
+    SIGN_SYMPTOM = "Sign_symptom"
+    DIAGNOSTIC_PROCEDURE = "Diagnostic_procedure"
+    LAB_VALUE = "Lab_value"
+    DISEASE_DISORDER = "Disease_disorder"
+    MEDICATION = "Medication"
+    THERAPEUTIC_PROCEDURE = "Therapeutic_procedure"
+    CLINICAL_EVENT = "Clinical_event"
+    OUTCOME = "Outcome"
+    ACTIVITY = "Activity"
+
+
+class EntityType(str, Enum):
+    """Non-trigger span types: semantic-role players in the narrative."""
+
+    AGE = "Age"
+    SEX = "Sex"
+    PERSONAL_BACKGROUND = "Personal_background"
+    OCCUPATION = "Occupation"
+    HISTORY = "History"
+    FAMILY_HISTORY = "Family_history"
+    SUBJECT = "Subject"
+    NONBIOLOGICAL_LOCATION = "Nonbiological_location"
+    BIOLOGICAL_STRUCTURE = "Biological_structure"
+    DETAILED_DESCRIPTION = "Detailed_description"
+    SEVERITY = "Severity"
+    DISTANCE = "Distance"
+    AREA = "Area"
+    VOLUME = "Volume"
+    MASS = "Mass"
+    COLOR = "Color"
+    SHAPE = "Shape"
+    TEXTURE = "Texture"
+    DOSAGE = "Dosage"
+    ADMINISTRATION = "Administration"
+    FREQUENCY = "Frequency"
+    DATE = "Date"
+    TIME = "Time"
+    DURATION = "Duration"
+    QUALITATIVE_CONCEPT = "Qualitative_concept"
+    QUANTITATIVE_CONCEPT = "Quantitative_concept"
+    OTHER_ENTITY = "Other_entity"
+
+
+class RelationType(str, Enum):
+    """Relation labels between spans."""
+
+    # Temporal relations order events in time (paper section III-B).
+    BEFORE = "BEFORE"
+    AFTER = "AFTER"
+    OVERLAP = "OVERLAP"
+    # Semantic relations reflect meaning between words.
+    IDENTICAL = "IDENTICAL"
+    MODIFY = "MODIFY"
+    SUB_PROCEDURE = "SUB_PROCEDURE"
+    CAUSES = "CAUSES"
+    INDICATES = "INDICATES"
+
+
+TEMPORAL_RELATIONS: frozenset[RelationType] = frozenset(
+    {RelationType.BEFORE, RelationType.AFTER, RelationType.OVERLAP}
+)
+
+SEMANTIC_RELATIONS: frozenset[RelationType] = frozenset(
+    set(RelationType) - TEMPORAL_RELATIONS
+)
+
+_EVENT_LABELS = frozenset(member.value for member in EventType)
+_ENTITY_LABELS = frozenset(member.value for member in EntityType)
+
+ALL_LABELS: frozenset[str] = _EVENT_LABELS | _ENTITY_LABELS
+
+
+def is_event_label(label: str) -> bool:
+    """True when ``label`` names an EVENT type."""
+    return label in _EVENT_LABELS
+
+
+def is_entity_label(label: str) -> bool:
+    """True when ``label`` names an ENTITY type."""
+    return label in _ENTITY_LABELS
+
+
+def label_kind(label: str) -> str:
+    """Classify a span label as ``"event"`` or ``"entity"``.
+
+    Raises:
+        SchemaError: the label is in neither inventory.
+    """
+    if is_event_label(label):
+        return "event"
+    if is_entity_label(label):
+        return "entity"
+    raise SchemaError(f"unknown span label: {label!r}")
+
+
+@dataclass
+class SchemaRegistry:
+    """The full schema: span labels, relation labels and arity rules.
+
+    Relations are constrained per the paper: temporal and semantic
+    relations hold between two EVENTS or between an EVENT and an ENTITY
+    (MODIFY typically entity->event).  The registry stores, for each
+    relation, the allowed (source kind, target kind) pairs; validation
+    walks these tables.
+    """
+
+    span_labels: frozenset[str] = field(default_factory=lambda: ALL_LABELS)
+    relation_rules: dict[RelationType, frozenset[tuple[str, str]]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.relation_rules:
+            event_event = frozenset({("event", "event")})
+            any_pair = frozenset(
+                {("event", "event"), ("event", "entity"), ("entity", "event")}
+            )
+            # BEFORE/AFTER admit entity participants because the paper's
+            # own Figure 5 orders a History entity ("glucocorticoids")
+            # before a clinical event.
+            self.relation_rules = {
+                RelationType.BEFORE: any_pair,
+                RelationType.AFTER: any_pair,
+                RelationType.OVERLAP: any_pair,
+                RelationType.IDENTICAL: any_pair,
+                RelationType.MODIFY: any_pair | frozenset({("entity", "entity")}),
+                RelationType.SUB_PROCEDURE: event_event,
+                RelationType.CAUSES: event_event,
+                RelationType.INDICATES: any_pair,
+            }
+
+    def check_span_label(self, label: str) -> None:
+        """Raise :class:`SchemaError` for labels outside the schema."""
+        if label not in self.span_labels:
+            raise SchemaError(f"unknown span label: {label!r}")
+
+    def check_relation(
+        self, relation: str, source_label: str, target_label: str
+    ) -> None:
+        """Validate a relation triple against the arity rules.
+
+        Raises:
+            SchemaError: unknown relation, unknown span label, or a
+                (source kind, target kind) pair the relation disallows.
+        """
+        try:
+            rel = RelationType(relation)
+        except ValueError:
+            raise SchemaError(f"unknown relation label: {relation!r}") from None
+        pair = (label_kind(source_label), label_kind(target_label))
+        if pair not in self.relation_rules[rel]:
+            raise SchemaError(
+                f"relation {rel.value} not allowed between "
+                f"{pair[0]} ({source_label}) and {pair[1]} ({target_label})"
+            )
+
+
+DEFAULT_REGISTRY = SchemaRegistry()

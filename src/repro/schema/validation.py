@@ -1,0 +1,154 @@
+"""Validation of annotation documents against the typing schema.
+
+The annotation interface (and the corpus generator's self-checks) run
+every edited document through :class:`SchemaValidator`; unlike the
+structural checks in :meth:`AnnotationDocument.verify`, this layer
+enforces the *clinical* constraints: label inventories, relation arity
+rules, and temporal-relation sanity (no self-loops, no duplicated
+contradictory pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annotation.model import AnnotationDocument
+from repro.exceptions import SchemaError
+from repro.schema.types import (
+    DEFAULT_REGISTRY,
+    SchemaRegistry,
+    TEMPORAL_RELATIONS,
+    RelationType,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """A single schema violation found in a document.
+
+    Attributes:
+        ann_id: the offending annotation's id.
+        code: machine-readable issue code.
+        message: human-readable description.
+    """
+
+    ann_id: str
+    code: str
+    message: str
+
+
+class SchemaValidator:
+    """Checks :class:`AnnotationDocument` instances against a registry.
+
+    Use :meth:`validate` to collect all issues (the annotation UI path)
+    or :meth:`check` to fail fast on the first (the pipeline path).
+    """
+
+    def __init__(self, registry: SchemaRegistry | None = None):
+        self._registry = registry or DEFAULT_REGISTRY
+
+    def validate(self, doc: AnnotationDocument) -> list[ValidationIssue]:
+        """Return every schema issue in ``doc`` (empty list = valid)."""
+        issues: list[ValidationIssue] = []
+        issues.extend(self._validate_spans(doc))
+        issues.extend(self._validate_relations(doc))
+        issues.extend(self._validate_temporal_pairs(doc))
+        return issues
+
+    def check(self, doc: AnnotationDocument) -> None:
+        """Raise :class:`SchemaError` on the first issue found."""
+        issues = self.validate(doc)
+        if issues:
+            first = issues[0]
+            raise SchemaError(
+                f"{doc.doc_id}/{first.ann_id}: {first.message} "
+                f"({len(issues)} issue(s) total)"
+            )
+
+    # -- individual passes -------------------------------------------------
+
+    def _validate_spans(self, doc: AnnotationDocument) -> list[ValidationIssue]:
+        issues = []
+        for tb in doc.textbounds.values():
+            if tb.label not in self._registry.span_labels:
+                issues.append(
+                    ValidationIssue(
+                        tb.ann_id,
+                        "unknown-span-label",
+                        f"span label {tb.label!r} is not in the schema",
+                    )
+                )
+        return issues
+
+    def _validate_relations(
+        self, doc: AnnotationDocument
+    ) -> list[ValidationIssue]:
+        issues = []
+        for rel in doc.relations.values():
+            source = doc.textbounds.get(rel.source)
+            target = doc.textbounds.get(rel.target)
+            if source is None or target is None:
+                issues.append(
+                    ValidationIssue(
+                        rel.ann_id,
+                        "dangling-relation",
+                        "relation endpoint missing from document",
+                    )
+                )
+                continue
+            try:
+                self._registry.check_relation(
+                    rel.label, source.label, target.label
+                )
+            except SchemaError as exc:
+                issues.append(
+                    ValidationIssue(rel.ann_id, "bad-relation", str(exc))
+                )
+        return issues
+
+    def _validate_temporal_pairs(
+        self, doc: AnnotationDocument
+    ) -> list[ValidationIssue]:
+        """Reject duplicate/contradictory temporal edges on one pair."""
+        issues = []
+        seen: dict[frozenset[str], tuple[str, str, str, str]] = {}
+        for rel in doc.relations.values():
+            try:
+                rel_type = RelationType(rel.label)
+            except ValueError:
+                continue
+            if rel_type not in TEMPORAL_RELATIONS:
+                continue
+            key = frozenset((rel.source, rel.target))
+            if key in seen:
+                prev_id, prev_label, prev_src, _prev_tgt = seen[key]
+                if not self._consistent(
+                    prev_label, prev_src, rel.label, rel.source
+                ):
+                    issues.append(
+                        ValidationIssue(
+                            rel.ann_id,
+                            "temporal-conflict",
+                            f"contradicts {prev_id} ({prev_label}) on the "
+                            f"same event pair",
+                        )
+                    )
+            else:
+                seen[key] = (rel.ann_id, rel.label, rel.source, rel.target)
+        return issues
+
+    @staticmethod
+    def _consistent(
+        label_a: str, source_a: str, label_b: str, source_b: str
+    ) -> bool:
+        """Two temporal edges on one pair are consistent iff they express
+        the same ordering once direction is normalized."""
+        same_direction = source_a == source_b
+
+        def normalize(label: str, same: bool) -> str:
+            if same:
+                return label
+            flips = {"BEFORE": "AFTER", "AFTER": "BEFORE", "OVERLAP": "OVERLAP"}
+            return flips[label]
+
+        return label_a == normalize(label_b, same_direction)

@@ -1,0 +1,74 @@
+"""Search-result highlighting: query-term snippets with <em> markers.
+
+Given a stored field's text and an analyzed query, finds the character
+ranges whose analyzed terms intersect the query's terms, merges them,
+and extracts window snippets with the matches wrapped in ``<em>`` tags
+— the ElasticSearch ``highlight`` feature the portal uses to preview
+why a report matched.
+"""
+
+from __future__ import annotations
+
+from repro.annotation.spans import merge_overlapping
+from repro.search.analysis import Analyzer
+
+
+def highlight(
+    analyzer: Analyzer,
+    text: str,
+    query_text: str,
+    window: int = 60,
+    max_snippets: int = 3,
+    pre_tag: str = "<em>",
+    post_tag: str = "</em>",
+) -> list[str]:
+    """Snippets of ``text`` with query-term matches wrapped in tags.
+
+    Args:
+        analyzer: the field's analysis chain (applied to both sides).
+        text: the stored field content.
+        query_text: the user query.
+        window: characters of context on each side of a match cluster.
+        max_snippets: cap on returned snippets.
+    """
+    query_terms = set(analyzer.terms(query_text))
+    if not query_terms or not text:
+        return []
+
+    match_ranges = [
+        (token.start, token.end)
+        for token in analyzer.analyze(text)
+        if token.term in query_terms
+    ]
+    if not match_ranges:
+        return []
+    merged = merge_overlapping(match_ranges)
+
+    # Cluster nearby matches into snippet groups.
+    clusters: list[list[tuple[int, int]]] = [[merged[0]]]
+    for span in merged[1:]:
+        if span[0] - clusters[-1][-1][1] <= window:
+            clusters[-1].append(span)
+        else:
+            clusters.append([span])
+
+    snippets = []
+    for cluster in clusters[:max_snippets]:
+        lo = max(0, cluster[0][0] - window)
+        hi = min(len(text), cluster[-1][1] + window)
+        # Snap to word boundaries.
+        while lo > 0 and not text[lo - 1].isspace():
+            lo -= 1
+        while hi < len(text) and not text[hi].isspace():
+            hi += 1
+        parts = []
+        cursor = lo
+        for start, end in cluster:
+            parts.append(text[cursor:start])
+            parts.append(pre_tag + text[start:end] + post_tag)
+            cursor = end
+        parts.append(text[cursor:hi])
+        prefix = "…" if lo > 0 else ""
+        suffix = "…" if hi < len(text) else ""
+        snippets.append(prefix + "".join(parts).strip() + suffix)
+    return snippets

@@ -1,0 +1,131 @@
+"""Positional inverted index over one field.
+
+Stores, per term, a postings list of ``(doc ordinal, positions)``;
+document ordinals are dense ints managed here so the engine can hold
+several field indexes that share external doc ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.search.analysis import AnalyzedToken
+
+
+@dataclass(slots=True)
+class Posting:
+    """One document's occurrence record for a term."""
+
+    doc_ord: int
+    positions: list[int] = field(default_factory=list)
+
+    @property
+    def term_frequency(self) -> int:
+        return len(self.positions)
+
+
+class InvertedIndex:
+    """Term -> postings with document lengths (for BM25 normalization)."""
+
+    def __init__(self):
+        self._postings: dict[str, list[Posting]] = {}
+        self._doc_lengths: dict[int, int] = {}
+        self._total_length = 0
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_document(
+        self, doc_ord: int, tokens: Sequence[AnalyzedToken]
+    ) -> None:
+        """Index an analyzed token stream for ``doc_ord``.
+
+        Re-adding an existing ordinal replaces its previous content.
+        """
+        if doc_ord in self._doc_lengths:
+            self.remove_document(doc_ord)
+        per_term: dict[str, list[int]] = {}
+        for token in tokens:
+            per_term.setdefault(token.term, []).append(token.position)
+        for term, positions in per_term.items():
+            self._postings.setdefault(term, []).append(
+                Posting(doc_ord, sorted(positions))
+            )
+        length = len(tokens)
+        self._doc_lengths[doc_ord] = length
+        self._total_length += length
+
+    def remove_document(self, doc_ord: int) -> None:
+        """Delete a document from the index (no-op when absent)."""
+        length = self._doc_lengths.pop(doc_ord, None)
+        if length is None:
+            return
+        self._total_length -= length
+        empty_terms = []
+        for term, postings in self._postings.items():
+            filtered = [p for p in postings if p.doc_ord != doc_ord]
+            if len(filtered) != len(postings):
+                if filtered:
+                    self._postings[term] = filtered
+                else:
+                    empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    # -- access -------------------------------------------------------------
+
+    def postings(self, term: str) -> list[Posting]:
+        """Postings list for ``term`` (empty when unseen)."""
+        return self._postings.get(term, [])
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, ()))
+
+    def doc_length(self, doc_ord: int) -> int:
+        """Token count of a document (0 when absent)."""
+        return self._doc_lengths.get(doc_ord, 0)
+
+    @property
+    def n_documents(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def average_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return self._total_length / len(self._doc_lengths)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def terms(self) -> list[str]:
+        """All indexed terms (unordered cost, sorted for determinism)."""
+        return sorted(self._postings)
+
+    def phrase_positions(
+        self, doc_ord: int, terms: Sequence[str]
+    ) -> list[int]:
+        """Start positions where ``terms`` occur consecutively in a doc."""
+        if not terms:
+            return []
+        position_lists = []
+        for term in terms:
+            positions = None
+            for posting in self._postings.get(term, ()):
+                if posting.doc_ord == doc_ord:
+                    positions = set(posting.positions)
+                    break
+            if positions is None:
+                return []
+            position_lists.append(positions)
+        first = position_lists[0]
+        hits = []
+        for start in sorted(first):
+            if all(
+                (start + offset) in position_lists[offset]
+                for offset in range(1, len(terms))
+            ):
+                hits.append(start)
+        return hits

@@ -1,0 +1,102 @@
+"""The Solr baseline: plain keyword search, deliberately vanilla.
+
+The paper's headline IR claim is that CREATe-IR "outperforms solr"
+because Solr does "simple keyword match" with no entity/relation
+structure.  This baseline reproduces that configuration: a single-field
+TF-IDF index over a standard analyzer (no n-grams, no graph, no
+temporal reasoning), cosine-normalized as classic Lucene scoring was.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.search.analysis import create_analyzer, STANDARD_ANALYZER_CONFIG
+
+
+@dataclass(frozen=True, slots=True)
+class SolrHit:
+    """One baseline search result."""
+
+    doc_id: Any
+    score: float
+
+
+class SolrBaseline:
+    """Single-field TF-IDF keyword engine (the Solr stand-in)."""
+
+    def __init__(self):
+        self._analyzer = create_analyzer(STANDARD_ANALYZER_CONFIG)
+        self._term_freqs: dict[Any, dict[str, int]] = {}
+        self._doc_freqs: dict[str, int] = {}
+        self._norms: dict[Any, float] = {}
+
+    def index(self, doc_id: Any, text: str) -> None:
+        """Index (or re-index) one document."""
+        if doc_id in self._term_freqs:
+            self.delete(doc_id)
+        freqs: dict[str, int] = {}
+        for term in self._analyzer.terms(text):
+            freqs[term] = freqs.get(term, 0) + 1
+        self._term_freqs[doc_id] = freqs
+        for term in freqs:
+            self._doc_freqs[term] = self._doc_freqs.get(term, 0) + 1
+        self._norms[doc_id] = 0.0  # recomputed lazily at query time
+
+    def delete(self, doc_id: Any) -> bool:
+        """Remove a document; returns False when absent."""
+        freqs = self._term_freqs.pop(doc_id, None)
+        if freqs is None:
+            return False
+        for term in freqs:
+            remaining = self._doc_freqs.get(term, 0) - 1
+            if remaining > 0:
+                self._doc_freqs[term] = remaining
+            else:
+                self._doc_freqs.pop(term, None)
+        self._norms.pop(doc_id, None)
+        return True
+
+    @property
+    def n_documents(self) -> int:
+        return len(self._term_freqs)
+
+    def search(self, query: str, size: int = 10) -> list[SolrHit]:
+        """TF-IDF cosine ranking of ``query`` keywords."""
+        query_terms = self._analyzer.terms(query)
+        if not query_terms or not self._term_freqs:
+            return []
+        n = len(self._term_freqs)
+        scores: dict[Any, float] = {}
+        for term in set(query_terms):
+            df = self._doc_freqs.get(term, 0)
+            if df == 0:
+                continue
+            idf = 1.0 + math.log(n / df)
+            query_weight = query_terms.count(term) * idf
+            for doc_id, freqs in self._term_freqs.items():
+                tf = freqs.get(term, 0)
+                if tf:
+                    weight = (1.0 + math.log(tf)) * idf
+                    scores[doc_id] = scores.get(doc_id, 0.0) + (
+                        weight * query_weight
+                    )
+        # Cosine normalization by document vector length.
+        out = []
+        for doc_id, raw in scores.items():
+            norm = self._doc_norm(doc_id)
+            out.append(SolrHit(doc_id, raw / norm if norm else 0.0))
+        out.sort(key=lambda hit: (-hit.score, str(hit.doc_id)))
+        return out[:size]
+
+    def _doc_norm(self, doc_id: Any) -> float:
+        freqs = self._term_freqs[doc_id]
+        n = len(self._term_freqs)
+        total = 0.0
+        for term, tf in freqs.items():
+            df = self._doc_freqs.get(term, 1)
+            idf = 1.0 + math.log(n / df)
+            total += ((1.0 + math.log(tf)) * idf) ** 2
+        return math.sqrt(total)

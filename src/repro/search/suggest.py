@@ -1,0 +1,87 @@
+"""Query suggestion: prefix autocomplete over the indexed vocabulary.
+
+The portal's search box completes clinical terms as the user types.
+Suggestions come from two sources, merged: surfaces of indexed graph
+concepts (weighted by how many documents mention them) and ontology
+preferred names (so canonical forms appear even for rarely-used
+synonyms).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Suggestion:
+    """One completion candidate."""
+
+    text: str
+    weight: int
+    source: str  # "corpus" or "ontology"
+
+
+class QuerySuggester:
+    """Prefix-completion index.
+
+    Example:
+        >>> suggester = QuerySuggester()
+        >>> suggester.add_term("chest pain", weight=3)
+        >>> suggester.suggest("ches")[0].text
+        'chest pain'
+    """
+
+    def __init__(self):
+        self._weights: Counter[str] = Counter()
+        self._sources: dict[str, str] = {}
+
+    def add_term(
+        self, term: str, weight: int = 1, source: str = "corpus"
+    ) -> None:
+        """Register (or reinforce) a completable term."""
+        key = term.strip().lower()
+        if not key:
+            return
+        self._weights[key] += weight
+        # Corpus evidence wins over ontology provenance.
+        if source == "corpus" or key not in self._sources:
+            self._sources[key] = source
+
+    def add_from_graph(self, graph) -> int:
+        """Index every concept label in a property graph; returns the
+        number of distinct terms afterwards."""
+        for node in graph.nodes():
+            label = node.get("label")
+            if isinstance(label, str):
+                self.add_term(label, weight=1, source="corpus")
+        return len(self._weights)
+
+    def add_from_ontology(self, ontology) -> int:
+        """Index ontology preferred names (weight 0 base)."""
+        for concept in ontology.concepts.values():
+            self.add_term(concept.preferred_name, weight=0, source="ontology")
+        return len(self._weights)
+
+    def suggest(self, prefix: str, limit: int = 8) -> list[Suggestion]:
+        """Completions for ``prefix``: by weight desc, then alphabetical.
+
+        Matches at the start of the term or at the start of any of its
+        words ("pain" completes "chest pain").
+        """
+        needle = prefix.strip().lower()
+        if not needle:
+            return []
+        hits = []
+        for term, weight in self._weights.items():
+            if term.startswith(needle) or any(
+                word.startswith(needle) for word in term.split()
+            ):
+                hits.append(
+                    Suggestion(term, weight, self._sources.get(term, "corpus"))
+                )
+        hits.sort(key=lambda s: (-s.weight, s.text))
+        return hits[:limit]
+
+    def __len__(self) -> int:
+        return len(self._weights)

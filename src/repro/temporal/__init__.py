@@ -1,0 +1,34 @@
+"""Temporal relation extraction with PSL regularization (paper ref [7]).
+
+The paper's second extraction module predicts temporal relations among
+extracted events, exploiting "common dependencies such as transitivity
+and symmetry patterns": a probabilistic-soft-logic loss regularizes
+training, and global inference enforces consistency at prediction time.
+This package implements the relation algebra, the temporal graph with
+transitive closure (Figure 5), the local pairwise classifier, the PSL
+regularizer, and exact ILP-based global inference.
+"""
+
+from repro.temporal.relations import (
+    RelationAlgebra,
+    THREE_WAY_ALGEBRA,
+    DENSE_ALGEBRA,
+    algebra_for_labels,
+)
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.classifier import TemporalClassifier, pair_features
+from repro.temporal.psl import PslConfig, psl_loss_and_grad
+from repro.temporal.global_inference import global_inference
+
+__all__ = [
+    "RelationAlgebra",
+    "THREE_WAY_ALGEBRA",
+    "DENSE_ALGEBRA",
+    "algebra_for_labels",
+    "TemporalGraph",
+    "TemporalClassifier",
+    "pair_features",
+    "PslConfig",
+    "psl_loss_and_grad",
+    "global_inference",
+]

@@ -1,0 +1,220 @@
+"""The local pairwise temporal relation classifier.
+
+Features follow the classic temporal-RE recipe: surfaces and types of
+the two events, the words between them (with special weight on
+temporal cue words like "later", "subsequently", "at the same time"),
+narrative distance, and sentence structure.  The model is multinomial
+logistic regression over hashed features; the PSL trainer in
+:mod:`repro.temporal.psl` reuses this class's featurization and
+parameters, adding the soft-logic gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.annotation.model import AnnotationDocument, TextBound
+from repro.corpus.datasets import TemporalDocument, TemporalInstance
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.features import FeatureHasher
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import PRF1, classification_f1
+from repro.text.tokenize import tokenize
+
+_CUE_WORDS = frozenset(
+    {
+        "later", "after", "before", "subsequently", "then", "while",
+        "during", "following", "prior", "earlier", "simultaneously",
+        "meanwhile", "next", "initially", "finally", "afterwards",
+        "admission", "discharge", "until", "when", "and",
+        "thereafter", "concurrently", "accompanied", "progressing",
+        "completing", "concluded", "amid", "once", "shortly", "soon",
+        "parallel", "together", "midst", "conjunction", "along",
+    }
+)
+
+
+def pair_features(
+    doc: AnnotationDocument,
+    src: TextBound,
+    tgt: TextBound,
+    narrative_distance: int,
+    max_context_distance: int = 2,
+) -> list[str]:
+    """Feature strings for an ordered event pair in its document.
+
+    Lexical context (cue words between the mentions, local windows) is
+    only extracted for pairs up to ``max_context_distance`` events
+    apart: for long-range pairs the intervening text is dominated by
+    *other* events' cues, which mislead more than they inform — such
+    pairs carry only type/distance priors, making them exactly the
+    cases global transitive inference (the paper's Figure 5 argument)
+    must recover.
+    """
+    first, second = (src, tgt) if src.start <= tgt.start else (tgt, src)
+    between_text = doc.text[first.end : second.start]
+    between_tokens = [t.lower for t in tokenize(between_text)]
+
+    feats = [
+        f"src_label={src.label}",
+        f"tgt_label={tgt.label}",
+        f"label_pair={src.label}|{tgt.label}",
+        f"dist={min(narrative_distance, 5)}",
+        f"pair_dist={src.label}|{tgt.label}|{min(narrative_distance, 5)}",
+        f"textorder={'src_first' if src.start <= tgt.start else 'tgt_first'}",
+        f"n_between={min(len(between_tokens), 20) // 5}",
+        f"same_sentence={'.' not in between_text}",
+    ]
+    if narrative_distance > max_context_distance:
+        return feats
+
+    feats.append(f"src_head={_head(src.text)}")
+    feats.append(f"tgt_head={_head(tgt.text)}")
+    for token in between_tokens:
+        if token in _CUE_WORDS:
+            feats.append(f"cue={token}")
+            feats.append(f"cue_pair={token}|{src.label}|{tgt.label}")
+    # A short window of context before each event mention.
+    feats.extend(
+        f"src_prev={t.lower}"
+        for t in tokenize(doc.text[max(0, src.start - 30) : src.start])[-2:]
+    )
+    feats.extend(
+        f"tgt_prev={t.lower}"
+        for t in tokenize(doc.text[max(0, tgt.start - 30) : tgt.start])[-2:]
+    )
+    return feats
+
+
+def _head(surface: str) -> str:
+    words = surface.lower().split()
+    return words[-1] if words else ""
+
+
+class TemporalClassifier:
+    """Trainable pairwise temporal relation classifier.
+
+    Args:
+        n_features: hashed feature space size.
+        epochs / learning_rate / l2: optimizer settings.
+    """
+
+    def __init__(
+        self,
+        n_features: int = 1 << 17,
+        epochs: int = 25,
+        learning_rate: float = 0.08,
+        l2: float = 1e-5,
+        seed: int = 17,
+    ):
+        self.n_features = n_features
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.seed = seed
+        self.labels: list[str] = []
+        self._label_index: dict[str, int] = {}
+        self._hasher = FeatureHasher(n_features)
+        self.model: LogisticRegression | None = None
+
+    # -- data plumbing ---------------------------------------------------------
+
+    def featurize_doc(
+        self, doc: TemporalDocument
+    ) -> tuple[sparse.csr_matrix, list[TemporalInstance]]:
+        """Feature matrix (one row per labeled pair) for a document."""
+        rows = []
+        for pair in doc.pairs:
+            src = doc.annotations.textbounds[pair.src_id]
+            tgt = doc.annotations.textbounds[pair.tgt_id]
+            rows.append(
+                pair_features(
+                    doc.annotations, src, tgt, pair.narrative_distance
+                )
+            )
+        return self._hasher.transform(rows), list(doc.pairs)
+
+    def encode_labels(self, pairs: Sequence[TemporalInstance]) -> np.ndarray:
+        """Label ids for instances (labels must be known)."""
+        return np.asarray(
+            [self._label_index[pair.label] for pair in pairs],
+            dtype=np.int64,
+        )
+
+    def init_labels(self, docs: Sequence[TemporalDocument]) -> None:
+        """Fix the label inventory from training documents."""
+        inventory = sorted(
+            {pair.label for doc in docs for pair in doc.pairs}
+        )
+        if len(inventory) < 2:
+            raise ModelError("need at least two relation labels")
+        self.labels = inventory
+        self._label_index = {label: i for i, label in enumerate(inventory)}
+        self.model = LogisticRegression(
+            n_classes=len(inventory),
+            n_features=self.n_features,
+            learning_rate=self.learning_rate,
+            l2=self.l2,
+            seed=self.seed,
+        )
+
+    # -- training ------------------------------------------------------------------
+
+    def fit(self, docs: Sequence[TemporalDocument]) -> "TemporalClassifier":
+        """Plain cross-entropy training (the local baseline)."""
+        self.init_labels(docs)
+        matrices = []
+        labels = []
+        for doc in docs:
+            x, pairs = self.featurize_doc(doc)
+            matrices.append(x)
+            labels.append(self.encode_labels(pairs))
+        x_all = sparse.vstack(matrices).tocsr()
+        y_all = np.concatenate(labels)
+        self.model.fit(
+            x_all, y_all, epochs=self.epochs, seed=self.seed
+        )
+        return self
+
+    # -- inference --------------------------------------------------------------------
+
+    def predict_proba_doc(self, doc: TemporalDocument) -> np.ndarray:
+        """Per-pair label probabilities, rows aligned with ``doc.pairs``."""
+        self._require_fitted()
+        x, _pairs = self.featurize_doc(doc)
+        return self.model.predict_proba(x)
+
+    def predict_doc(self, doc: TemporalDocument) -> list[str]:
+        """Argmax labels per pair (no global inference)."""
+        probs = self.predict_proba_doc(doc)
+        return [self.labels[i] for i in np.argmax(probs, axis=1)]
+
+    def evaluate(
+        self,
+        docs: Sequence[TemporalDocument],
+        predictions: Sequence[Sequence[str]] | None = None,
+        average: str = "micro",
+    ) -> PRF1:
+        """Micro P/R/F1 over all pairs of the given documents.
+
+        Args:
+            predictions: pre-computed per-doc label lists (e.g. from
+                global inference); when None, local argmax is used.
+        """
+        gold: list[str] = []
+        predicted: list[str] = []
+        for idx, doc in enumerate(docs):
+            gold.extend(pair.label for pair in doc.pairs)
+            if predictions is not None:
+                predicted.extend(predictions[idx])
+            else:
+                predicted.extend(self.predict_doc(doc))
+        return classification_f1(gold, predicted, average=average)
+
+    def _require_fitted(self) -> None:
+        if self.model is None:
+            raise NotFittedError("TemporalClassifier used before fit()")
+        self.model.require_fitted()

@@ -1,0 +1,122 @@
+"""Temporal relation algebras: inverses and transitivity composition.
+
+Two algebras cover the paper's evaluation corpora:
+
+* :data:`THREE_WAY_ALGEBRA` — I2B2-2012's BEFORE / AFTER / OVERLAP with
+  the paper's own transitivity example (Figure 5: "given that b
+  happened before d, e happened after d and e happened simultaneously
+  with f, we can infer ... that b was before f");
+* :data:`DENSE_ALGEBRA` — TB-Dense's six labels, where SIMULTANEOUS is
+  a composition identity and INCLUDES/IS_INCLUDED self-compose.
+
+A composition returning None means the pair's relation is not entailed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RelationAlgebra:
+    """Label inventory with inverse and composition tables."""
+
+    labels: tuple[str, ...]
+    inverses: dict[str, str]
+    compositions: dict[tuple[str, str], str]
+
+    def inverse(self, label: str) -> str:
+        """The relation seen from the opposite direction."""
+        return self.inverses[label]
+
+    def compose(self, first: str, second: str) -> str | None:
+        """r(a,c) entailed by first(a,b) and second(b,c), or None."""
+        return self.compositions.get((first, second))
+
+    def consistent(self, first: str, second: str, third: str) -> bool:
+        """Is third(a,c) consistent with first(a,b) ∧ second(b,c)?"""
+        entailed = self.compose(first, second)
+        return entailed is None or entailed == third
+
+
+def _symmetric_compositions(
+    rules: dict[tuple[str, str], str], inverses: dict[str, str]
+) -> dict[tuple[str, str], str]:
+    """Close a rule table under inversion:
+    r1(a,b) ∧ r2(b,c) -> r3(a,c) implies inv(r2)(c,b) ∧ inv(r1)(b,a)
+    -> inv(r3)(c,a)."""
+    closed = dict(rules)
+    for (first, second), third in rules.items():
+        closed[(inverses[second], inverses[first])] = inverses[third]
+    return closed
+
+
+_THREE_INVERSES = {"BEFORE": "AFTER", "AFTER": "BEFORE", "OVERLAP": "OVERLAP"}
+
+_THREE_RULES = {
+    ("BEFORE", "BEFORE"): "BEFORE",
+    ("BEFORE", "OVERLAP"): "BEFORE",
+    ("OVERLAP", "BEFORE"): "BEFORE",
+    ("OVERLAP", "OVERLAP"): "OVERLAP",
+}
+
+THREE_WAY_ALGEBRA = RelationAlgebra(
+    labels=("BEFORE", "AFTER", "OVERLAP"),
+    inverses=_THREE_INVERSES,
+    compositions=_symmetric_compositions(_THREE_RULES, _THREE_INVERSES),
+)
+
+_DENSE_INVERSES = {
+    "BEFORE": "AFTER",
+    "AFTER": "BEFORE",
+    "INCLUDES": "IS_INCLUDED",
+    "IS_INCLUDED": "INCLUDES",
+    "SIMULTANEOUS": "SIMULTANEOUS",
+    "VAGUE": "VAGUE",
+}
+
+_DENSE_RULES = {
+    ("BEFORE", "BEFORE"): "BEFORE",
+    ("INCLUDES", "INCLUDES"): "INCLUDES",
+    # SIMULTANEOUS is an identity element.
+    ("SIMULTANEOUS", "BEFORE"): "BEFORE",
+    ("BEFORE", "SIMULTANEOUS"): "BEFORE",
+    ("SIMULTANEOUS", "INCLUDES"): "INCLUDES",
+    ("INCLUDES", "SIMULTANEOUS"): "INCLUDES",
+    ("SIMULTANEOUS", "SIMULTANEOUS"): "SIMULTANEOUS",
+    ("SIMULTANEOUS", "IS_INCLUDED"): "IS_INCLUDED",
+    # Interval-sound mixed rules (each verified against the interval
+    # semantics; combinations whose conclusion is not entailed — e.g.
+    # INCLUDES then BEFORE — are deliberately absent).
+    ("IS_INCLUDED", "BEFORE"): "BEFORE",
+    ("AFTER", "INCLUDES"): "AFTER",
+    ("BEFORE", "INCLUDES"): "BEFORE",
+    ("IS_INCLUDED", "AFTER"): "AFTER",
+}
+
+DENSE_ALGEBRA = RelationAlgebra(
+    labels=(
+        "BEFORE",
+        "AFTER",
+        "INCLUDES",
+        "IS_INCLUDED",
+        "SIMULTANEOUS",
+        "VAGUE",
+    ),
+    inverses=_DENSE_INVERSES,
+    compositions=_symmetric_compositions(_DENSE_RULES, _DENSE_INVERSES),
+)
+
+
+def algebra_for_labels(labels: tuple[str, ...] | list[str]) -> RelationAlgebra:
+    """Pick the algebra matching a dataset's label inventory.
+
+    Raises:
+        ValueError: labels fit neither algebra.
+    """
+    label_set = set(labels)
+    if label_set <= set(THREE_WAY_ALGEBRA.labels):
+        return THREE_WAY_ALGEBRA
+    if label_set <= set(DENSE_ALGEBRA.labels):
+        return DENSE_ALGEBRA
+    raise ValueError(f"no relation algebra covers labels {sorted(label_set)}")

@@ -1,0 +1,67 @@
+"""N-gram utilities: character n-grams, word n-grams, and shingles.
+
+The ElasticSearch-analog tokenizer in :mod:`repro.search.analysis` uses
+:func:`character_ngrams` with the paper's configuration
+(``min_gram=3, max_gram=25``); the C-FLAIR-style contextual embeddings
+in :mod:`repro.ml.embeddings` use it for subword features.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+
+def character_ngrams(
+    text: str,
+    min_gram: int,
+    max_gram: int,
+) -> Iterator[tuple[str, int, int]]:
+    """Yield ``(gram, start, end)`` for every character n-gram of ``text``.
+
+    Grams are produced in ElasticSearch n-gram tokenizer order: sliding
+    the start position left to right and, at each start, growing the
+    gram from ``min_gram`` to ``max_gram`` (clipped at the string end).
+
+    Args:
+        text: the source string.
+        min_gram: minimum gram length (>= 1).
+        max_gram: maximum gram length (>= min_gram).
+
+    Raises:
+        ValueError: on non-positive or inverted bounds.
+    """
+    if min_gram < 1:
+        raise ValueError(f"min_gram must be >= 1, got {min_gram}")
+    if max_gram < min_gram:
+        raise ValueError(
+            f"max_gram ({max_gram}) must be >= min_gram ({min_gram})"
+        )
+    n = len(text)
+    for start in range(n - min_gram + 1):
+        limit = min(max_gram, n - start)
+        for size in range(min_gram, limit + 1):
+            yield (text[start : start + size], start, start + size)
+
+
+def word_ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """Return the list of word n-grams (as tuples) over ``tokens``.
+
+    Returns an empty list when ``len(tokens) < n``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def shingle(tokens: Sequence[str], min_n: int, max_n: int) -> list[str]:
+    """Space-joined word n-grams for all sizes in [min_n, max_n].
+
+    This mirrors a Lucene shingle filter and is used to index multi-word
+    clinical terms ("atrial fibrillation") as single searchable units.
+    """
+    if min_n < 1 or max_n < min_n:
+        raise ValueError(f"bad shingle bounds: [{min_n}, {max_n}]")
+    out = []
+    for n in range(min_n, max_n + 1):
+        out.extend(" ".join(gram) for gram in word_ngrams(tokens, n))
+    return out

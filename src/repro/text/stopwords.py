@@ -1,0 +1,33 @@
+"""English stopword list for the search-engine ``stop`` token filter.
+
+The list matches the scope of Lucene's default English stop set (which
+is what ElasticSearch's ``stop`` filter uses), extended with a handful
+of tokens that dominate clinical narratives without carrying retrieval
+signal ("patient", "year", "old" are deliberately *not* included: they
+are clinically meaningful entity cues).
+"""
+
+from __future__ import annotations
+
+# Lucene EnglishAnalyzer default stop set.
+_LUCENE_STOPS = {
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if",
+    "in", "into", "is", "it", "no", "not", "of", "on", "or", "such",
+    "that", "the", "their", "then", "there", "these", "they", "this",
+    "to", "was", "will", "with",
+}
+
+# Extra high-frequency function words common in case-report prose.
+_EXTRA_STOPS = {
+    "after", "also", "am", "been", "before", "did", "do", "does", "had",
+    "has", "have", "he", "her", "him", "his", "i", "its", "me", "my",
+    "our", "she", "so", "than", "them", "upon", "us", "we", "were",
+    "which", "who", "whom", "you", "your",
+}
+
+STOPWORDS: frozenset[str] = frozenset(_LUCENE_STOPS | _EXTRA_STOPS)
+
+
+def is_stopword(token: str) -> bool:
+    """True when ``token`` (any case) is in the stop set."""
+    return token.lower() in STOPWORDS

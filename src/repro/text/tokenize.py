@@ -1,0 +1,169 @@
+"""Tokenization: offset-preserving word tokenizer and sentence splitter.
+
+Offsets matter throughout CREATe: BRAT standoff annotations, NER spans
+and the graph indexer all address text by character offsets, so every
+token records the half-open interval ``[start, end)`` into the original
+string.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single token with its source-text offsets.
+
+    Attributes:
+        text: the exact surface string, ``source[start:end]``.
+        start: character offset of the first character.
+        end: character offset one past the last character.
+    """
+
+    text: str
+    start: int
+    end: int
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    @property
+    def lower(self) -> str:
+        """Lower-cased surface form."""
+        return self.text.lower()
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """True when this token intersects the half-open span [start, end)."""
+        return self.start < end and start < self.end
+
+
+# Words (with internal hyphens/apostrophes/periods as in "S.aureus",
+# "beta-blocker", "patient's"), numbers (with decimal points, percent
+# handled as separate token), or any single non-space symbol.
+_TOKEN_RE = re.compile(
+    r"""
+    \d+(?:[.,]\d+)*(?:[^\W\d_]+)?         # numbers: 12, 3.5, 1,200, 50mg
+    | [^\W\d_]+(?:[-'./][^\W_]+)*         # words (unicode letters) incl.
+                                          # hyphenated compounds
+    | \S                                  # any other single symbol
+    """,
+    re.VERBOSE,
+)
+
+# Common clinical/bibliographic abbreviations that end with a period but
+# do not terminate a sentence.
+_ABBREVIATIONS = frozenset(
+    {
+        "dr", "mr", "mrs", "ms", "prof", "vs", "etc", "e.g", "i.e",
+        "fig", "figs", "al", "approx", "dept", "no", "inc",
+        "b.i.d", "t.i.d", "q.d", "p.o", "i.v", "i.m", "subq",
+        "mg", "ml", "kg", "cm", "mm", "hr", "min", "sec",
+    }
+)
+
+_SENTENCE_END_RE = re.compile(r"[.!?]+[\"')\]]*\s+")
+
+
+class WordTokenizer:
+    """Offset-preserving regex word tokenizer.
+
+    The tokenizer is deliberately conservative: it never merges or splits
+    across whitespace, so reconstructing the source from offsets is
+    always exact.
+
+    Example:
+        >>> [t.text for t in WordTokenizer().tokenize("BP was 120/80.")]
+        ['BP', 'was', '120', '/', '80', '.']
+    """
+
+    def tokenize(self, text: str) -> list[Token]:
+        """Tokenize ``text`` into a list of offset-bearing tokens."""
+        return list(self.itertokenize(text))
+
+    def itertokenize(self, text: str) -> Iterator[Token]:
+        """Lazily yield tokens; equivalent to :meth:`tokenize`."""
+        for match in _TOKEN_RE.finditer(text):
+            yield Token(match.group(), match.start(), match.end())
+
+
+class SentenceSplitter:
+    """Rule-based sentence splitter aware of clinical abbreviations.
+
+    Splits on ``.!?`` followed by whitespace, unless the period belongs
+    to a known abbreviation, a single capital initial ("J. Smith"), or a
+    decimal number.
+    """
+
+    def split(self, text: str) -> list[tuple[int, int]]:
+        """Return sentence spans as half-open ``(start, end)`` offsets.
+
+        Leading/trailing whitespace is excluded from every span; empty
+        sentences are dropped.
+        """
+        boundaries = [0]
+        for match in _SENTENCE_END_RE.finditer(text):
+            if self._is_real_boundary(text, match.start()):
+                boundaries.append(match.end())
+        boundaries.append(len(text))
+
+        spans = []
+        for start, end in zip(boundaries, boundaries[1:]):
+            trimmed = self._trim(text, start, end)
+            if trimmed is not None:
+                spans.append(trimmed)
+        return spans
+
+    def split_texts(self, text: str) -> list[str]:
+        """Return the sentence strings themselves."""
+        return [text[s:e] for s, e in self.split(text)]
+
+    def _is_real_boundary(self, text: str, punct_pos: int) -> bool:
+        """Decide whether the punctuation at ``punct_pos`` ends a sentence."""
+        if text[punct_pos] != ".":
+            return True  # ! and ? always terminate
+        # Word immediately preceding the period.
+        head = text[:punct_pos]
+        word_match = re.search(r"[\w.']+$", head)
+        if word_match is None:
+            return True
+        word = word_match.group().lower().rstrip(".")
+        if word in _ABBREVIATIONS:
+            return False
+        # Single capital initial, e.g. the "J" of "J. Smith".
+        if len(word) == 1 and word.isalpha() and word_match.group()[0].isupper():
+            return False
+        # Decimal number split across the regex ("3." + "5 mg" cannot
+        # happen because \s+ is required, but "3." at line end can).
+        if word.replace(".", "").isdigit() and punct_pos + 1 < len(text):
+            nxt = text[punct_pos + 1]
+            if nxt.isdigit():
+                return False
+        return True
+
+    @staticmethod
+    def _trim(text: str, start: int, end: int) -> tuple[int, int] | None:
+        """Shrink [start, end) to exclude surrounding whitespace."""
+        while start < end and text[start].isspace():
+            start += 1
+        while end > start and text[end - 1].isspace():
+            end -= 1
+        if start >= end:
+            return None
+        return (start, end)
+
+
+_DEFAULT_TOKENIZER = WordTokenizer()
+_DEFAULT_SPLITTER = SentenceSplitter()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize with the module-default :class:`WordTokenizer`."""
+    return _DEFAULT_TOKENIZER.tokenize(text)
+
+
+def split_sentences(text: str) -> list[tuple[int, int]]:
+    """Split with the module-default :class:`SentenceSplitter`."""
+    return _DEFAULT_SPLITTER.split(text)

@@ -1,0 +1,98 @@
+"""Vocabulary: a bidirectional token <-> integer id mapping.
+
+Shared by the ML substrate (feature/label spaces) and the search engine
+(term dictionaries).  Ids are dense and assigned in first-seen order so
+that runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Vocabulary:
+    """Mutable token <-> id mapping with an optional UNK token.
+
+    Example:
+        >>> v = Vocabulary(unk="<unk>")
+        >>> v.add("fever")
+        1
+        >>> v["fever"]
+        1
+        >>> v["unseen"]  # falls back to unk id
+        0
+    """
+
+    def __init__(self, unk: str | None = None):
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._unk = unk
+        if unk is not None:
+            self.add(unk)
+
+    def add(self, token: str) -> int:
+        """Insert ``token`` if absent; return its id either way."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        return idx
+
+    def update(self, tokens: Iterable[str]) -> None:
+        """Add every token from ``tokens``."""
+        for token in tokens:
+            self.add(token)
+
+    def freeze_lookup(self, token: str) -> int | None:
+        """Id of ``token`` or None, never mutating (ignores UNK)."""
+        return self._token_to_id.get(token)
+
+    def __getitem__(self, token: str) -> int:
+        """Id of ``token``; falls back to the UNK id when configured.
+
+        Raises:
+            KeyError: token absent and no UNK token configured.
+        """
+        idx = self._token_to_id.get(token)
+        if idx is not None:
+            return idx
+        if self._unk is not None:
+            return self._token_to_id[self._unk]
+        raise KeyError(token)
+
+    def token(self, idx: int) -> str:
+        """Inverse lookup; raises IndexError when out of range."""
+        return self._id_to_token[idx]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def to_dict(self) -> dict[str, int]:
+        """A copy of the token->id mapping (for serialization)."""
+        return dict(self._token_to_id)
+
+    @classmethod
+    def from_dict(
+        cls, mapping: dict[str, int], unk: str | None = None
+    ) -> "Vocabulary":
+        """Rebuild a vocabulary from :meth:`to_dict` output."""
+        vocab = cls()
+        ordered = sorted(mapping.items(), key=lambda item: item[1])
+        for token, expected in ordered:
+            got = vocab.add(token)
+            if got != expected:
+                raise ValueError(
+                    f"non-dense vocabulary mapping: {token!r} -> {expected}"
+                )
+        vocab._unk = unk
+        if unk is not None and unk not in vocab:
+            raise ValueError(f"unk token {unk!r} missing from mapping")
+        return vocab

@@ -1,0 +1,22 @@
+"""Network graph visualization (paper section III-E, Figure 7).
+
+CREATe-IR renders each case's knowledge graph as an SVG network laid
+out by a force-directed algorithm that "distributes nodes and clusters
+in space to minimize their repulsive energies and crossing edges".
+This package implements the layout (Fruchterman–Reingold), an SVG
+renderer with typed node colors and labeled edges, and a linear
+timeline view ordered by the temporal graph.
+"""
+
+from repro.viz.force_layout import ForceLayout, LayoutResult
+from repro.viz.svg import render_graph_svg, GraphStyle
+from repro.viz.timeline import timeline_order, render_timeline_svg
+
+__all__ = [
+    "ForceLayout",
+    "LayoutResult",
+    "render_graph_svg",
+    "GraphStyle",
+    "timeline_order",
+    "render_timeline_svg",
+]

@@ -1,0 +1,105 @@
+"""Standalone HTML view of an annotated case report.
+
+The portal's document page, as one self-contained XHTML string:
+publication metadata, the narrative with entity spans wrapped in
+type-colored marks (the BRAT-style display of Figure 4, with negated
+mentions struck through), and the relation list.  Valid XHTML so it
+can be parsed and asserted on in tests.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.annotation.model import AnnotationDocument
+from repro.viz.svg import _DEFAULT_TYPE_COLORS, _FALLBACK_COLOR
+
+_CSS = """
+body { font-family: Georgia, serif; max-width: 52em; margin: 2em auto; }
+h1 { font-size: 1.4em; }
+.meta { color: #555; font-size: 0.9em; }
+mark { padding: 0 2px; border-radius: 3px; }
+mark.negated { text-decoration: line-through; opacity: 0.7; }
+.type-tag { font-size: 0.65em; vertical-align: super; color: #333; }
+table { border-collapse: collapse; margin-top: 1em; }
+td, th { border: 1px solid #ccc; padding: 2px 8px; font-size: 0.85em; }
+"""
+
+
+def render_report_html(
+    doc: AnnotationDocument,
+    title: str = "",
+    metadata: dict | None = None,
+) -> str:
+    """Render the annotated report as a standalone XHTML document.
+
+    Args:
+        doc: the annotated report (verified offsets).
+        title: publication title for the header.
+        metadata: optional extra header fields (authors, journal, ...).
+    """
+    spans = doc.spans_sorted()
+    negated_ids = {
+        attribute.target
+        for attribute in doc.attributes.values()
+        if attribute.label == "Negated"
+    }
+
+    # Build the marked-up narrative; overlapping spans keep the first.
+    parts: list[str] = []
+    cursor = 0
+    for tb in spans:
+        if tb.start < cursor:
+            continue
+        parts.append(escape(doc.text[cursor : tb.start]))
+        color = _DEFAULT_TYPE_COLORS.get(tb.label, _FALLBACK_COLOR)
+        classes = "negated" if tb.ann_id in negated_ids else ""
+        parts.append(
+            f'<mark class="{classes}" style="background:{color}66" '
+            f'title="{escape(tb.label)}">{escape(tb.text)}'
+            f'<span class="type-tag">{escape(tb.label)}</span></mark>'
+        )
+        cursor = tb.end
+    parts.append(escape(doc.text[cursor:]))
+    narrative = "".join(parts)
+
+    meta_rows = []
+    for key, value in (metadata or {}).items():
+        if isinstance(value, list):
+            value = ", ".join(str(item) for item in value)
+        meta_rows.append(
+            f'<div class="meta">{escape(str(key))}: '
+            f"{escape(str(value))}</div>"
+        )
+
+    relation_rows = []
+    for rel in doc.relations.values():
+        source = doc.textbounds.get(rel.source)
+        target = doc.textbounds.get(rel.target)
+        if source is None or target is None:
+            continue
+        relation_rows.append(
+            "<tr>"
+            f"<td>{escape(source.text)}</td>"
+            f"<td>{escape(rel.label)}</td>"
+            f"<td>{escape(target.text)}</td>"
+            "</tr>"
+        )
+
+    return (
+        '<?xml version="1.0" encoding="utf-8"?>\n'
+        '<html xmlns="http://www.w3.org/1999/xhtml"><head>'
+        f"<title>{escape(title or doc.doc_id)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>{escape(title or doc.doc_id)}</h1>"
+        + "".join(meta_rows)
+        + f"<p>{narrative}</p>"
+        + (
+            "<table><tr><th>source</th><th>relation</th><th>target</th></tr>"
+            + "".join(relation_rows)
+            + "</table>"
+            if relation_rows
+            else ""
+        )
+        + "</body></html>"
+    )

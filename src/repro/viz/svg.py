@@ -1,0 +1,133 @@
+"""SVG rendering of case-report knowledge graphs (Figure 7).
+
+Produces a standalone SVG string: typed, color-coded nodes with their
+labels, directed edges with relation labels, and dashed styling for
+transitively inferred temporal edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from xml.sax.saxutils import escape
+
+from repro.graphdb.graph import PropertyGraph
+from repro.viz.force_layout import ForceLayout
+
+_DEFAULT_TYPE_COLORS = {
+    "Sign_symptom": "#e15759",
+    "Disease_disorder": "#b07aa1",
+    "Diagnostic_procedure": "#4e79a7",
+    "Lab_value": "#76b7b2",
+    "Medication": "#59a14f",
+    "Therapeutic_procedure": "#edc948",
+    "Outcome": "#f28e2b",
+    "History": "#9c755f",
+}
+_FALLBACK_COLOR = "#bab0ac"
+
+
+@dataclass
+class GraphStyle:
+    """Rendering options."""
+
+    width: float = 800.0
+    height: float = 600.0
+    node_radius: float = 18.0
+    font_size: int = 11
+    type_colors: dict = field(
+        default_factory=lambda: dict(_DEFAULT_TYPE_COLORS)
+    )
+    show_edge_labels: bool = True
+
+
+def render_graph_svg(
+    graph: PropertyGraph,
+    style: GraphStyle | None = None,
+    seed: int = 42,
+    node_filter=None,
+) -> str:
+    """Render (a subgraph of) ``graph`` as an SVG document string.
+
+    Args:
+        graph: the property graph to draw.
+        style: rendering options.
+        seed: layout determinism.
+        node_filter: optional predicate selecting nodes to include
+            (e.g. one document's subgraph).
+    """
+    style = style or GraphStyle()
+    nodes = [
+        node
+        for node in graph.nodes()
+        if node_filter is None or node_filter(node)
+    ]
+    node_ids = [node.node_id for node in nodes]
+    included = set(node_ids)
+    edges = [
+        edge
+        for edge in graph.edges()
+        if edge.source in included and edge.target in included
+    ]
+
+    # Springs come from explicit edges only; transitively inferred
+    # edges (drawn dashed) would otherwise pull everything together.
+    layout_edges = [
+        (e.source, e.target)
+        for e in edges
+        if not e.get("inferred", False)
+    ] or [(e.source, e.target) for e in edges]
+    layout = ForceLayout(
+        width=style.width, height=style.height, seed=seed
+    ).layout(node_ids, layout_edges)
+    positions = layout.positions
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{style.width:g}" height="{style.height:g}" '
+        f'viewBox="0 0 {style.width:g} {style.height:g}">',
+        "<defs><marker id='arrow' viewBox='0 0 10 10' refX='10' refY='5' "
+        "markerWidth='6' markerHeight='6' orient='auto-start-reverse'>"
+        "<path d='M 0 0 L 10 5 L 0 10 z' fill='#666'/></marker></defs>",
+    ]
+
+    for edge in edges:
+        x1, y1 = positions[edge.source]
+        x2, y2 = positions[edge.target]
+        dashed = bool(edge.get("inferred", False))
+        dash = ' stroke-dasharray="5,4"' if dashed else ""
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="#666" stroke-width="1.5"'
+            f'{dash} marker-end="url(#arrow)"/>'
+        )
+        if style.show_edge_labels:
+            mx, my = (x1 + x2) / 2, (y1 + y2) / 2
+            parts.append(
+                f'<text x="{mx:.1f}" y="{my - 4:.1f}" '
+                f'font-size="{style.font_size - 2}" fill="#444" '
+                f'text-anchor="middle">{escape(edge.label)}</text>'
+            )
+
+    for node in nodes:
+        x, y = positions[node.node_id]
+        entity_type = str(node.get("entityType", ""))
+        color = style.type_colors.get(entity_type, _FALLBACK_COLOR)
+        label = str(node.get("label", node.node_id))
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{style.node_radius:g}" '
+            f'fill="{color}" stroke="#333" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{y + style.node_radius + 12:.1f}" '
+            f'font-size="{style.font_size}" text-anchor="middle" '
+            f'fill="#111">{escape(_truncate(label))}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _truncate(label: str, limit: int = 28) -> str:
+    if len(label) <= limit:
+        return label
+    return label[: limit - 1] + "…"

@@ -1,0 +1,122 @@
+"""Timeline view: clinical events on a horizontal axis.
+
+Orders a document's events by its temporal graph (topological order of
+BEFORE edges, OVERLAP groups sharing a column) and renders them as an
+SVG strip — the "temporal order of the clinical events" visualization
+the demo generates per document.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from xml.sax.saxutils import escape
+
+from repro.temporal.graph import TemporalGraph
+
+
+def timeline_order(graph: TemporalGraph) -> list[list[str]]:
+    """Group events into temporally ordered columns.
+
+    Events connected by OVERLAP share a column; columns are ordered by
+    the BEFORE relation (topological order over overlap groups).
+    Returns a list of columns, each a sorted list of event ids.
+    """
+    events = graph.events()
+    # Union overlap groups.
+    parent = {event: event for event in events}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for a, b, label in graph.edges():
+        if label == "OVERLAP":
+            union(a, b)
+
+    groups: dict[str, list[str]] = defaultdict(list)
+    for event in events:
+        groups[find(event)].append(event)
+
+    # BEFORE edges between groups -> DAG -> topological order.
+    successors: dict[str, set[str]] = defaultdict(set)
+    indegree: dict[str, int] = {root: 0 for root in groups}
+    for a, b, label in graph.edges():
+        if label != "BEFORE":
+            continue
+        ga, gb = find(a), find(b)
+        if ga != gb and gb not in successors[ga]:
+            successors[ga].add(gb)
+            indegree[gb] += 1
+
+    queue = deque(sorted(root for root, deg in indegree.items() if deg == 0))
+    ordered_roots = []
+    while queue:
+        root = queue.popleft()
+        ordered_roots.append(root)
+        for nxt in sorted(successors[root]):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                queue.append(nxt)
+    # Cycles (inconsistent input) fall back to appending leftovers.
+    leftover = sorted(set(groups) - set(ordered_roots))
+    ordered_roots.extend(leftover)
+    return [sorted(groups[root]) for root in ordered_roots]
+
+
+def render_timeline_svg(
+    graph: TemporalGraph,
+    labels: dict[str, str] | None = None,
+    column_width: float = 150.0,
+    row_height: float = 44.0,
+) -> str:
+    """Render the timeline as an SVG strip.
+
+    Args:
+        graph: the document's temporal graph.
+        labels: event id -> display text (ids shown when omitted).
+    """
+    labels = labels or {}
+    columns = timeline_order(graph)
+    n_columns = max(len(columns), 1)
+    max_rows = max((len(col) for col in columns), default=1)
+    width = n_columns * column_width + 40
+    height = max_rows * row_height + 70
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:g}" '
+        f'height="{height:g}" viewBox="0 0 {width:g} {height:g}">',
+        f'<line x1="20" y1="{height - 30:g}" x2="{width - 20:g}" '
+        f'y2="{height - 30:g}" stroke="#333" stroke-width="2"/>',
+    ]
+    for col_index, column in enumerate(columns):
+        x = 20 + col_index * column_width + column_width / 2
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{height - 36:g}" x2="{x:.1f}" '
+            f'y2="{height - 24:g}" stroke="#333" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - 10:g}" font-size="10" '
+            f'text-anchor="middle" fill="#555">t{col_index}</text>'
+        )
+        for row_index, event_id in enumerate(column):
+            y = 20 + row_index * row_height
+            text = labels.get(event_id, event_id)
+            parts.append(
+                f'<rect x="{x - column_width / 2 + 8:.1f}" y="{y:.1f}" '
+                f'width="{column_width - 16:.1f}" height="30" rx="6" '
+                f'fill="#eef3fb" stroke="#4e79a7"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{y + 19:.1f}" font-size="10" '
+                f'text-anchor="middle" fill="#111">'
+                f"{escape(text[:24])}</text>"
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)

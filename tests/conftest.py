@@ -1,0 +1,37 @@
+"""Shared fixtures: small cached corpora so test runtime stays sane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import CaseReportGenerator
+from repro.corpus.pubmed import build_corpus
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """40 mixed-category gold reports (session-cached)."""
+    return build_corpus(40, seed=101)
+
+
+@pytest.fixture(scope="session")
+def cvd_reports():
+    """12 cardiovascular gold reports (session-cached)."""
+    generator = CaseReportGenerator(seed=202)
+    return [
+        generator.generate(f"cvd-{i:03d}", "cardiovascular")
+        for i in range(12)
+    ]
+
+
+@pytest.fixture(scope="session")
+def one_report(cvd_reports):
+    return cvd_reports[0]
+
+
+@pytest.fixture(scope="session")
+def demo_system():
+    """A small trained end-to-end system (session-cached: ~10 s)."""
+    from repro.pipeline import build_demo_system
+
+    return build_demo_system(n_reports=16, n_train=16, seed=0)

@@ -1,0 +1,108 @@
+"""Tests for inter-annotator agreement measurement."""
+
+import pytest
+
+from repro.annotation.agreement import AgreementReport, agreement, cohens_kappa
+from repro.annotation.model import AnnotationDocument
+
+TEXT = "The patient developed fever and a mild cough after admission."
+
+
+def annotator_doc(spans, relations=()):
+    doc = AnnotationDocument(doc_id="d", text=TEXT)
+    ids = []
+    for label, start, end in spans:
+        ids.append(doc.add_textbound(label, start, end).ann_id)
+    for label, src, tgt in relations:
+        doc.add_relation(label, ids[src], ids[tgt])
+    return doc
+
+
+class TestCohensKappa:
+    def test_perfect_agreement(self):
+        assert cohens_kappa(["a", "b", "a"], ["a", "b", "a"]) == 1.0
+
+    def test_empty_sequences(self):
+        assert cohens_kappa([], []) == 1.0
+
+    def test_chance_level(self):
+        # Annotator B ignores A: agreement equals chance.
+        a = ["x", "x", "y", "y"]
+        b = ["x", "y", "x", "y"]
+        assert cohens_kappa(a, b) == pytest.approx(0.0)
+
+    def test_below_chance_negative(self):
+        a = ["x", "y", "x", "y"]
+        b = ["y", "x", "y", "x"]
+        assert cohens_kappa(a, b) < 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cohens_kappa(["a"], [])
+
+    def test_single_constant_label(self):
+        assert cohens_kappa(["a", "a"], ["a", "a"]) == 1.0
+
+
+class TestAgreement:
+    def test_identical_annotators(self):
+        spans = [("Sign_symptom", 22, 27), ("Sign_symptom", 39, 44)]
+        relations = [("OVERLAP", 0, 1)]
+        report = agreement(
+            [annotator_doc(spans, relations)],
+            [annotator_doc(spans, relations)],
+        )
+        assert report.span_f1.f1 == 1.0
+        assert report.token_kappa == 1.0
+        assert report.relation_f1.f1 == 1.0
+        assert report.n_documents == 1
+
+    def test_partial_span_overlap(self):
+        a = annotator_doc([("Sign_symptom", 22, 27), ("Sign_symptom", 39, 44)])
+        b = annotator_doc([("Sign_symptom", 22, 27)])
+        report = agreement([a], [b])
+        assert 0.0 < report.span_f1.f1 < 1.0
+        assert report.token_kappa < 1.0
+
+    def test_label_disagreement_counts(self):
+        a = annotator_doc([("Sign_symptom", 22, 27)])
+        b = annotator_doc([("Disease_disorder", 22, 27)])
+        report = agreement([a], [b])
+        assert report.span_f1.f1 == 0.0
+
+    def test_relation_agreement_by_offsets_not_ids(self):
+        spans = [("Sign_symptom", 22, 27), ("Sign_symptom", 39, 44)]
+        a = annotator_doc(spans, [("OVERLAP", 0, 1)])
+        # Same spans added in reverse order -> different T ids.
+        b = AnnotationDocument(doc_id="d", text=TEXT)
+        cough = b.add_textbound("Sign_symptom", 39, 44)
+        fever = b.add_textbound("Sign_symptom", 22, 27)
+        b.add_relation("OVERLAP", fever.ann_id, cough.ann_id)
+        report = agreement([a], [b])
+        assert report.relation_f1.f1 == 1.0
+
+    def test_document_count_mismatch(self):
+        with pytest.raises(ValueError):
+            agreement([annotator_doc([])], [])
+
+    def test_text_mismatch(self):
+        a = annotator_doc([])
+        b = AnnotationDocument(doc_id="d", text="different text")
+        with pytest.raises(ValueError):
+            agreement([a], [b])
+
+    def test_simulated_annotator_noise(self, cvd_reports):
+        # Annotator B drops one span per document: agreement high but
+        # below perfect, recall asymmetric.
+        originals = [r.annotations for r in cvd_reports[:5]]
+        noisy = []
+        for doc in originals:
+            clone = AnnotationDocument(doc_id=doc.doc_id, text=doc.text)
+            spans = doc.spans_sorted()
+            for tb in spans[:-1]:
+                clone.add_textbound(tb.label, tb.start, tb.end)
+            noisy.append(clone)
+        report = agreement(originals, noisy)
+        assert 0.8 < report.span_f1.f1 < 1.0
+        assert report.span_f1.precision == 1.0  # B's spans all in A
+        assert report.token_kappa > 0.8

@@ -1,0 +1,223 @@
+"""Tests for the BRAT annotation substrate: model, .ann format, spans."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.annotation.brat import (
+    parse_ann,
+    read_document,
+    serialize_ann,
+    write_document,
+)
+from repro.annotation.model import AnnotationDocument, TextBound
+from repro.annotation.spans import (
+    align_to_tokens,
+    merge_overlapping,
+    span_contains,
+    spans_overlap,
+)
+from repro.exceptions import AnnotationError, SpanError
+from repro.text.tokenize import tokenize
+
+TEXT = "The patient developed fever and a mild cough after admission."
+
+
+def make_doc():
+    doc = AnnotationDocument(doc_id="doc1", text=TEXT)
+    fever = doc.add_textbound("Sign_symptom", 22, 27)
+    cough = doc.add_textbound("Sign_symptom", 39, 44)
+    severity = doc.add_textbound("Severity", 34, 38)
+    doc.add_relation("OVERLAP", fever.ann_id, cough.ann_id)
+    doc.add_relation("MODIFY", severity.ann_id, cough.ann_id)
+    return doc
+
+
+class TestModel:
+    def test_add_textbound_records_surface(self):
+        doc = make_doc()
+        assert doc.textbounds["T1"].text == "fever"
+
+    def test_span_verify_rejects_mismatch(self):
+        tb = TextBound("T1", "Sign_symptom", 0, 3, "xyz")
+        with pytest.raises(SpanError):
+            tb.verify_against(TEXT)
+
+    def test_span_rejects_inverted_offsets(self):
+        with pytest.raises(SpanError):
+            TextBound("T1", "Sign_symptom", 5, 5, "")
+
+    def test_relation_requires_known_endpoints(self):
+        doc = make_doc()
+        with pytest.raises(AnnotationError):
+            doc.add_relation("BEFORE", "T1", "T99")
+
+    def test_relation_rejects_self_loop(self):
+        doc = make_doc()
+        with pytest.raises(AnnotationError):
+            doc.add_relation("BEFORE", "T1", "T1")
+
+    def test_auto_ids_unique(self):
+        doc = make_doc()
+        ids = list(doc.textbounds)
+        assert len(ids) == len(set(ids))
+
+    def test_spans_sorted(self):
+        doc = make_doc()
+        starts = [tb.start for tb in doc.spans_sorted()]
+        assert starts == sorted(starts)
+
+    def test_relations_of(self):
+        doc = make_doc()
+        assert len(doc.relations_of("T2")) == 2  # cough in both relations
+
+    def test_spans_with_label(self):
+        doc = make_doc()
+        assert len(doc.spans_with_label("Sign_symptom")) == 2
+
+    def test_event_requires_trigger(self):
+        doc = make_doc()
+        with pytest.raises(AnnotationError):
+            doc.add_event("Clinical_event", "T42")
+
+    def test_note_attachment(self):
+        doc = make_doc()
+        note = doc.add_note("T1", "checked by reviewer")
+        assert note.target == "T1"
+        doc.verify()
+
+    def test_verify_catches_dangling_relation(self):
+        doc = make_doc()
+        rel = doc.relations["R1"]
+        del doc.textbounds[rel.source]
+        with pytest.raises(AnnotationError):
+            doc.verify()
+
+
+class TestBratFormat:
+    def test_roundtrip(self):
+        doc = make_doc()
+        doc.add_event("Sign_symptom", "T1", {"Theme": "T2"})
+        doc.add_note("T1", "a note")
+        content = serialize_ann(doc)
+        parsed = parse_ann("doc1", TEXT, content)
+        assert set(parsed.textbounds) == set(doc.textbounds)
+        assert set(parsed.relations) == set(doc.relations)
+        assert set(parsed.events) == set(doc.events)
+        assert parsed.textbounds["T1"].text == "fever"
+        assert serialize_ann(parsed) == content
+
+    def test_parse_textbound_line(self):
+        parsed = parse_ann("d", "fever", "T1\tSign_symptom 0 5\tfever\n")
+        assert parsed.textbounds["T1"].label == "Sign_symptom"
+
+    def test_parse_rejects_surface_mismatch(self):
+        with pytest.raises(AnnotationError):
+            parse_ann("d", "fever", "T1\tSign_symptom 0 5\tcough\n")
+
+    def test_parse_rejects_bad_line(self):
+        with pytest.raises(AnnotationError):
+            parse_ann("d", "fever", "Z1\twhatever\n")
+
+    def test_parse_rejects_dangling_relation(self):
+        content = "T1\tSign_symptom 0 5\tfever\nR1\tBEFORE Arg1:T1 Arg2:T9\n"
+        with pytest.raises(AnnotationError):
+            parse_ann("d", "fever", content)
+
+    def test_parse_discontinuous_span_envelope(self):
+        text = "left and right atrium"
+        content = "T1\tBiological_structure 0 4;15 21\tleft atrium\n"
+        parsed = parse_ann("d", text, content)
+        assert (parsed.textbounds["T1"].start, parsed.textbounds["T1"].end) == (0, 21)
+
+    def test_parse_attribute_line(self):
+        content = "T1\tSign_symptom 0 5\tfever\nA1\tNegated T1\n"
+        parsed = parse_ann("d", "fever", content)
+        assert parsed.attributes["A1"].label == "Negated"
+
+    def test_blank_lines_ignored(self):
+        parsed = parse_ann("d", "fever", "\nT1\tSign_symptom 0 5\tfever\n\n")
+        assert len(parsed.textbounds) == 1
+
+    def test_duplicate_ids_rejected(self):
+        content = (
+            "T1\tSign_symptom 0 5\tfever\nT1\tSign_symptom 0 5\tfever\n"
+        )
+        with pytest.raises(AnnotationError):
+            parse_ann("d", "fever", content)
+
+    def test_file_roundtrip(self, tmp_path):
+        doc = make_doc()
+        txt_path = write_document(doc, tmp_path)
+        loaded = read_document(txt_path)
+        assert loaded.text == doc.text
+        assert set(loaded.textbounds) == set(doc.textbounds)
+
+    def test_read_document_missing_ann(self, tmp_path):
+        path = tmp_path / "alone.txt"
+        path.write_text("text")
+        with pytest.raises(AnnotationError):
+            read_document(path)
+
+    def test_generated_reports_roundtrip(self, cvd_reports):
+        for report in cvd_reports[:5]:
+            content = serialize_ann(report.annotations)
+            parsed = parse_ann(report.report_id, report.text, content)
+            assert len(parsed.textbounds) == len(report.annotations.textbounds)
+            assert len(parsed.relations) == len(report.annotations.relations)
+
+
+class TestSpanAlgebra:
+    def test_overlap(self):
+        assert spans_overlap((0, 5), (4, 9))
+        assert not spans_overlap((0, 5), (5, 9))
+
+    def test_contains(self):
+        assert span_contains((0, 10), (2, 5))
+        assert not span_contains((2, 5), (0, 10))
+
+    def test_merge(self):
+        assert merge_overlapping([(0, 5), (4, 9), (20, 25)]) == [
+            (0, 9),
+            (20, 25),
+        ]
+
+    def test_merge_touching(self):
+        assert merge_overlapping([(0, 5), (5, 9)]) == [(0, 9)]
+
+    def test_merge_empty(self):
+        assert merge_overlapping([]) == []
+
+    def test_align_to_tokens(self):
+        tokens = tokenize(TEXT)
+        bounds = align_to_tokens((22, 27), tokens)  # "fever"
+        assert bounds is not None
+        first, last = bounds
+        assert tokens[first].text == "fever"
+        assert first == last
+
+    def test_align_partial_token(self):
+        tokens = tokenize("hyperkalemia")
+        assert align_to_tokens((0, 5), tokens) == (0, 0)
+
+    def test_align_no_overlap(self):
+        tokens = tokenize("abc def")
+        assert align_to_tokens((100, 104), tokens) is None
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(1, 20)).map(
+                lambda t: (t[0], t[0] + t[1])
+            ),
+            max_size=20,
+        )
+    )
+    def test_merge_output_disjoint_and_sorted(self, spans):
+        merged = merge_overlapping(spans)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2
+        # Every original span is covered by some merged span.
+        for span in spans:
+            assert any(
+                outer[0] <= span[0] and span[1] <= outer[1]
+                for outer in merged
+            )

@@ -1,0 +1,297 @@
+"""Tests for the synthetic corpus layer: generator, datasets, queries."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.datasets import (
+    NER_DATASET_NAMES,
+    make_ner_dataset,
+    make_temporal_dataset,
+)
+from repro.corpus.generator import CaseReportGenerator, GeneratorConfig
+from repro.corpus.lexicon import LEXICON
+from repro.corpus.pubmed import (
+    CATEGORY_DISTRIBUTION,
+    build_corpus,
+    cvd_reports,
+    observed_distribution,
+    sample_categories,
+)
+from repro.corpus.queries import make_query_workload
+from repro.corpus.timeline import (
+    ClinicalEvent,
+    Timeline,
+    dense_relation,
+    interval_relation,
+)
+from repro.schema.validation import SchemaValidator
+
+
+class TestTimeline:
+    def _event(self, eid, start, end):
+        return ClinicalEvent(eid, eid, "Sign_symptom", start, end)
+
+    def test_midpoint_relations(self):
+        a = self._event("a", 0, 1)
+        b = self._event("b", 2, 3)
+        assert interval_relation(a, b) == "BEFORE"
+        assert interval_relation(b, a) == "AFTER"
+
+    def test_same_midpoint_overlap(self):
+        a = self._event("a", 0, 2)
+        b = self._event("b", 0.5, 1.5)
+        assert interval_relation(a, b) == "OVERLAP"
+
+    def test_dense_relations(self):
+        outer = self._event("o", 0, 4)
+        inner = self._event("i", 1, 3)
+        assert dense_relation(outer, inner) == "INCLUDES"
+        assert dense_relation(inner, outer) == "IS_INCLUDED"
+        same = self._event("s", 0, 4)
+        assert dense_relation(outer, same) == "SIMULTANEOUS"
+        later = self._event("l", 5, 6)
+        assert dense_relation(outer, later) == "BEFORE"
+        partial = self._event("p", 3, 5)
+        assert dense_relation(outer, partial) == "VAGUE"
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ClinicalEvent("x", "x", "S", 2.0, 1.0)
+
+    def test_timeline_queries(self):
+        timeline = Timeline()
+        timeline.add(self._event("a", 0, 1))
+        timeline.add(self._event("b", 2, 3))
+        assert timeline.relation("a", "b") == "BEFORE"
+        assert timeline.all_pairs() == [("a", "b", "BEFORE")]
+        assert timeline.adjacent_pairs() == [("a", "b", "BEFORE")]
+        assert len(timeline) == 2
+        with pytest.raises(KeyError):
+            timeline.by_id("zz")
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = CaseReportGenerator(seed=5).generate("r1")
+        b = CaseReportGenerator(seed=5).generate("r1")
+        assert a.text == b.text
+        assert a.title == b.title
+
+    def test_annotations_verified_and_schema_valid(self):
+        generator = CaseReportGenerator(seed=6)
+        validator = SchemaValidator()
+        for i in range(10):
+            report = generator.generate(f"r{i}")
+            report.annotations.verify()
+            assert validator.validate(report.annotations) == []
+
+    def test_annotated_relations_match_timeline(self):
+        from repro.schema.types import RelationType, TEMPORAL_RELATIONS
+
+        generator = CaseReportGenerator(seed=7)
+        for i in range(20):
+            report = generator.generate(f"r{i}")
+            ids = {event.event_id for event in report.timeline.events}
+            for rel in report.annotations.relations.values():
+                try:
+                    rel_type = RelationType(rel.label)
+                except ValueError:
+                    continue
+                if rel_type not in TEMPORAL_RELATIONS:
+                    continue
+                if rel.source in ids and rel.target in ids:
+                    assert (
+                        report.timeline.relation(rel.source, rel.target)
+                        == rel.label
+                    )
+
+    def test_sections_cover_text(self):
+        report = CaseReportGenerator(seed=8).generate("r1")
+        for _name, start, end in report.sections:
+            assert 0 <= start < end <= len(report.text)
+
+    def test_category_controls_disease(self):
+        report = CaseReportGenerator(seed=9).generate("r1", "cancer")
+        assert report.category == "cancer"
+        assert report.area is None
+        cvd = CaseReportGenerator(seed=9).generate("r2", "cardiovascular")
+        assert cvd.area in LEXICON.diseases_by_area
+
+    def test_to_document_shape(self):
+        doc = CaseReportGenerator(seed=10).generate("r1").to_document()
+        assert doc["_id"] == "r1"
+        assert "text" in doc
+        assert isinstance(doc["sections"], list)
+
+    def test_generate_many_cycles_categories(self):
+        reports = CaseReportGenerator(seed=11).generate_many(
+            4, categories=["cancer", "neurology"]
+        )
+        assert [r.category for r in reports] == [
+            "cancer",
+            "neurology",
+            "cancer",
+            "neurology",
+        ]
+
+    def test_gold_globally_consistent(self):
+        from repro.temporal import TemporalGraph, THREE_WAY_ALGEBRA
+
+        generator = CaseReportGenerator(
+            seed=12,
+            config=GeneratorConfig(
+                extra_symptom_prob=0.9,
+                complication_prob=0.9,
+                therapeutic_procedure_prob=0.9,
+                second_course_event_prob=0.9,
+            ),
+        )
+        for i in range(15):
+            report = generator.generate(f"r{i}")
+            graph = TemporalGraph(algebra=THREE_WAY_ALGEBRA)
+            for a, b, label in report.timeline.all_pairs():
+                graph.add(a, b, label)
+            graph.close()  # raises on inconsistency
+
+
+class TestLexicon:
+    def test_restricted_shrinks_lists(self):
+        small = LEXICON.restricted(0.5)
+        assert len(small.sign_symptoms) < len(LEXICON.sign_symptoms)
+        assert len(small.sign_symptoms) >= 1
+
+    def test_restricted_bounds_checked(self):
+        with pytest.raises(ValueError):
+            LEXICON.restricted(0.0)
+        with pytest.raises(ValueError):
+            LEXICON.restricted(1.5)
+
+    def test_category_diseases(self):
+        assert LEXICON.diseases_for_category("cancer")
+        pooled = LEXICON.diseases_for_category("cardiovascular")
+        assert "atrial fibrillation" in pooled
+
+    def test_all_diseases_nonempty(self):
+        assert len(LEXICON.all_diseases()) > 30
+
+
+class TestPubmed:
+    def test_distribution_sums_to_one(self):
+        assert sum(CATEGORY_DISTRIBUTION.values()) == pytest.approx(1.0)
+
+    def test_figure1_shape(self):
+        categories = sample_categories(8000, seed=1)
+        dist = observed_distribution(categories)
+        # CVD around 20%, cancer the largest.
+        assert 0.17 <= dist["cardiovascular"] <= 0.23
+        assert dist["cancer"] == max(dist.values())
+        assert dist["cancer"] > dist["cardiovascular"]
+
+    def test_sample_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sample_categories(-1)
+
+    def test_build_corpus(self, small_corpus):
+        assert len(small_corpus) == 40
+        assert len({r.report_id for r in small_corpus}) == 40
+
+    def test_cvd_slice(self, small_corpus):
+        slice_ = cvd_reports(small_corpus)
+        assert all(r.category == "cardiovascular" for r in slice_)
+
+
+class TestNerDatasets:
+    @pytest.mark.parametrize("name", NER_DATASET_NAMES)
+    def test_builds_with_splits(self, name):
+        ds = make_ner_dataset(name, n_train=4, n_test=2, seed=0, n_unlabeled=3)
+        assert len(ds.train) == 4
+        assert len(ds.test) == 2
+        assert len(ds.unlabeled) == 3
+        assert ds.label_set
+
+    def test_i2b2_projection(self):
+        ds = make_ner_dataset("i2b2-like", n_train=3, n_test=1, seed=0, n_unlabeled=0)
+        labels = {
+            tb.label for doc in ds.train for tb in doc.textbounds.values()
+        }
+        assert labels <= {"PROBLEM", "TREATMENT", "TEST"}
+
+    def test_lexical_holdout_creates_unseen_surfaces(self):
+        ds = make_ner_dataset(
+            "cardio-cases", n_train=30, n_test=15, seed=0, n_unlabeled=0
+        )
+        train_surfaces = {
+            tb.text.lower()
+            for doc in ds.train
+            for tb in doc.textbounds.values()
+        }
+        test_surfaces = {
+            tb.text.lower()
+            for doc in ds.test
+            for tb in doc.textbounds.values()
+        }
+        assert test_surfaces - train_surfaces
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_ner_dataset("nope")
+
+
+class TestTemporalDatasets:
+    def test_i2b2_like(self):
+        ds = make_temporal_dataset("i2b2-2012-like", n_train=4, n_test=2, seed=0)
+        assert set(ds.label_set) <= {"BEFORE", "AFTER", "OVERLAP"}
+        assert all(doc.pairs for doc in ds.train)
+        instance = ds.train[0].pairs[0]
+        assert instance.src_id in ds.train[0].annotations.textbounds
+
+    def test_tbdense_like(self):
+        ds = make_temporal_dataset("tbdense-like", n_train=4, n_test=2, seed=0)
+        assert set(ds.label_set) <= {
+            "BEFORE", "AFTER", "INCLUDES", "IS_INCLUDED",
+            "SIMULTANEOUS", "VAGUE",
+        }
+
+    def test_distance_bounded(self):
+        ds = make_temporal_dataset("i2b2-2012-like", n_train=4, n_test=1, seed=0)
+        assert all(
+            pair.narrative_distance <= 3
+            for doc in ds.train
+            for pair in doc.pairs
+        )
+
+    def test_all_instances_flattens(self):
+        ds = make_temporal_dataset("i2b2-2012-like", n_train=3, n_test=2, seed=0)
+        assert len(ds.all_instances("train")) == sum(
+            len(doc.pairs) for doc in ds.train
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_temporal_dataset("nope")
+
+
+class TestQueryWorkload:
+    def test_queries_have_judgements(self, small_corpus):
+        queries = make_query_workload(small_corpus, n_queries=8, seed=3)
+        assert queries
+        for query in queries:
+            assert query.judgements
+            assert query.concepts
+            assert query.text
+
+    def test_grades_ordered(self, small_corpus):
+        queries = make_query_workload(small_corpus, n_queries=8, seed=3)
+        for query in queries:
+            assert query.relevant_ids(2) <= query.relevant_ids(1)
+
+    def test_judgements_reference_corpus(self, small_corpus):
+        ids = {report.report_id for report in small_corpus}
+        queries = make_query_workload(small_corpus, n_queries=5, seed=4)
+        for query in queries:
+            assert set(query.judgements) <= ids
+
+    def test_deterministic(self, small_corpus):
+        a = make_query_workload(small_corpus, n_queries=5, seed=5)
+        b = make_query_workload(small_corpus, n_queries=5, seed=5)
+        assert [q.text for q in a] == [q.text for q in b]

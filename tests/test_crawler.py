@@ -1,0 +1,132 @@
+"""Tests for the crawler substrate (Nutch analog)."""
+
+import pytest
+
+from repro.crawler.crawler import Crawler
+from repro.crawler.frontier import Frontier, host_of
+from repro.crawler.repository import SyntheticPubMed
+from repro.exceptions import CrawlError
+
+
+@pytest.fixture(scope="module")
+def site(cvd_reports):
+    return SyntheticPubMed(cvd_reports, pdf_fraction=0.5, seed=3)
+
+
+class TestFrontier:
+    def test_dedup(self):
+        frontier = Frontier()
+        assert frontier.add("u1")
+        assert not frontier.add("u1")
+        assert frontier.seen == 1
+
+    def test_fifo_order(self):
+        frontier = Frontier()
+        frontier.add_many(["a", "b", "c"])
+        assert frontier.next_url() == "a"
+        assert frontier.next_url() == "b"
+
+    def test_empty_returns_none(self):
+        assert Frontier().next_url() is None
+
+    def test_politeness_wait(self):
+        frontier = Frontier(politeness_delay=1.0)
+        frontier.record_fetch("pubmed://a/x", now=5.0)
+        assert frontier.wait_time("pubmed://a/y", now=5.2) == pytest.approx(0.8)
+        assert frontier.wait_time("pubmed://a/y", now=7.0) == 0.0
+
+    def test_requeue(self):
+        frontier = Frontier()
+        frontier.add("a")
+        url = frontier.next_url()
+        frontier.requeue(url)
+        assert frontier.next_url() == "a"
+
+    def test_host_of(self):
+        assert host_of("pubmed://article/123") == "article"
+        assert host_of("no-scheme/path") == "no-scheme"
+
+
+class TestSyntheticPubMed:
+    def test_site_has_articles_and_listings(self, site, cvd_reports):
+        assert site.n_pages > len(cvd_reports)
+        assert site.seed_urls()
+
+    def test_fetch_article(self, site, cvd_reports):
+        page = site.fetch(f"pubmed://article/{cvd_reports[0].pmid}")
+        assert page.content_type in ("pdf", "xml")
+        assert page.body
+
+    def test_fetch_unknown_url(self, site):
+        with pytest.raises(CrawlError):
+            site.fetch("pubmed://article/00000")
+
+    def test_fetch_advances_clock(self, site):
+        before = site.clock
+        try:
+            site.fetch("pubmed://article/00000")
+        except CrawlError:
+            pass
+        assert site.clock > before
+
+    def test_robots(self, site):
+        assert not site.robots_allowed("pubmed://admin/secret")
+        assert site.robots_allowed("pubmed://article/1")
+
+    def test_listing_links_resolve(self, site):
+        for seed in site.seed_urls():
+            listing = site.fetch(seed)
+            for link in listing.links:
+                assert site.fetch(link) is not None or True
+
+
+class TestCrawler:
+    def test_crawl_captures_every_article(self, cvd_reports):
+        site = SyntheticPubMed(cvd_reports, seed=4)
+        crawler = Crawler(site)
+        results = crawler.crawl()
+        assert len(results) == len(cvd_reports)
+        assert crawler.stats.captured == len(cvd_reports)
+        assert crawler.stats.listings > 0
+
+    def test_crawl_respects_max_pages(self, cvd_reports):
+        site = SyntheticPubMed(cvd_reports, seed=4)
+        crawler = Crawler(site)
+        crawler.crawl(max_pages=3)
+        assert crawler.stats.fetched == 3
+
+    def test_transient_errors_retried(self, cvd_reports):
+        site = SyntheticPubMed(cvd_reports, error_rate=0.3, seed=5)
+        crawler = Crawler(site, max_retries=5)
+        results = crawler.crawl()
+        assert len(results) == len(cvd_reports)
+        assert crawler.stats.retries > 0
+
+    def test_retry_budget_exhausted_counts_error(self, cvd_reports):
+        site = SyntheticPubMed(cvd_reports, error_rate=0.95, seed=6)
+        crawler = Crawler(site, max_retries=1)
+        crawler.crawl(max_pages=40)
+        assert crawler.stats.errors > 0
+
+    def test_robots_skip(self, cvd_reports):
+        site = SyntheticPubMed(cvd_reports, seed=7)
+        crawler = Crawler(site)
+        crawler.crawl(seeds=["pubmed://admin/panel"])
+        assert crawler.stats.robots_skipped == 1
+        assert crawler.stats.fetched == 0
+
+    def test_politeness_advances_clock(self, cvd_reports):
+        site = SyntheticPubMed(cvd_reports, fetch_latency=0.01, seed=8)
+        crawler = Crawler(site, politeness_delay=0.5)
+        crawler.crawl()
+        assert crawler.stats.politeness_waits > 0
+
+    def test_captured_bodies_parse(self, cvd_reports):
+        from repro.grobid.service import GrobidService
+
+        site = SyntheticPubMed(cvd_reports, seed=9)
+        results = Crawler(site).crawl()
+        service = GrobidService()
+        for result in results[:5]:
+            pub = service.process(result.body)
+            assert pub.metadata.title

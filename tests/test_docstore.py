@@ -1,0 +1,310 @@
+"""Tests for the document store (MongoDB analog)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.docstore.index import SecondaryIndex
+from repro.docstore.query import compile_query, matches
+from repro.docstore.store import Collection, DocumentStore
+from repro.exceptions import DocumentStoreError, DuplicateKeyError, QueryError
+
+
+class TestQueryOperators:
+    DOC = {
+        "title": "case 1",
+        "year": 2018,
+        "tags": ["cvd", "rare"],
+        "meta": {"journal": {"name": "JCCR"}},
+        "authors": [{"name": "Chen"}, {"name": "Garcia"}],
+    }
+
+    def test_implicit_equality(self):
+        assert matches(self.DOC, {"title": "case 1"})
+        assert not matches(self.DOC, {"title": "case 2"})
+
+    def test_dotted_path(self):
+        assert matches(self.DOC, {"meta.journal.name": "JCCR"})
+
+    def test_array_element_equality(self):
+        assert matches(self.DOC, {"tags": "cvd"})
+
+    def test_array_of_documents_field(self):
+        assert matches(self.DOC, {"authors.name": "Garcia"})
+
+    def test_array_numeric_index(self):
+        assert matches(self.DOC, {"authors.0.name": "Chen"})
+        assert not matches(self.DOC, {"authors.9.name": "Chen"})
+
+    def test_comparisons(self):
+        assert matches(self.DOC, {"year": {"$gt": 2017}})
+        assert matches(self.DOC, {"year": {"$gte": 2018}})
+        assert matches(self.DOC, {"year": {"$lt": 2019}})
+        assert not matches(self.DOC, {"year": {"$lte": 2017}})
+
+    def test_comparison_type_guard(self):
+        assert not matches(self.DOC, {"title": {"$gt": 5}})
+
+    def test_ne(self):
+        assert matches(self.DOC, {"year": {"$ne": 1999}})
+
+    def test_in_nin(self):
+        assert matches(self.DOC, {"year": {"$in": [2017, 2018]}})
+        assert matches(self.DOC, {"year": {"$nin": [1999]}})
+        assert matches(self.DOC, {"tags": {"$in": ["rare"]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(QueryError):
+            matches(self.DOC, {"year": {"$in": 2018}})
+
+    def test_exists(self):
+        assert matches(self.DOC, {"title": {"$exists": True}})
+        assert matches(self.DOC, {"missing": {"$exists": False}})
+
+    def test_regex(self):
+        assert matches(self.DOC, {"title": {"$regex": r"^case \d"}})
+
+    def test_size(self):
+        assert matches(self.DOC, {"tags": {"$size": 2}})
+        with pytest.raises(QueryError):
+            matches(self.DOC, {"tags": {"$size": "2"}})
+
+    def test_all(self):
+        assert matches(self.DOC, {"tags": {"$all": ["cvd", "rare"]}})
+        assert not matches(self.DOC, {"tags": {"$all": ["cvd", "x"]}})
+
+    def test_elem_match(self):
+        assert matches(
+            self.DOC, {"authors": {"$elemMatch": {"name": "Chen"}}}
+        )
+
+    def test_not(self):
+        assert matches(self.DOC, {"year": {"$not": {"$gt": 2020}}})
+
+    def test_logical_combinators(self):
+        assert matches(
+            self.DOC,
+            {"$and": [{"year": 2018}, {"title": "case 1"}]},
+        )
+        assert matches(
+            self.DOC, {"$or": [{"year": 1999}, {"title": "case 1"}]}
+        )
+        assert matches(self.DOC, {"$nor": [{"year": 1999}]})
+
+    def test_multiple_operators_on_field(self):
+        assert matches(self.DOC, {"year": {"$gte": 2018, "$lte": 2018}})
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            matches(self.DOC, {"year": {"$frob": 1}})
+
+    def test_unknown_top_level_operator(self):
+        with pytest.raises(QueryError):
+            matches(self.DOC, {"$xor": []})
+
+    def test_query_must_be_dict(self):
+        with pytest.raises(QueryError):
+            compile_query("not a dict")
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(-5, 5),
+            max_size=3,
+        )
+    )
+    def test_empty_query_matches_everything(self, doc):
+        assert matches(doc, {})
+
+
+class TestCollection:
+    def make(self):
+        coll = Collection("reports")
+        coll.insert_many(
+            [
+                {"_id": f"r{i}", "n": i, "cat": "cvd" if i % 2 == 0 else "other"}
+                for i in range(10)
+            ]
+        )
+        return coll
+
+    def test_insert_assigns_id(self):
+        coll = Collection("c")
+        doc_id = coll.insert_one({"a": 1})
+        assert coll.get(doc_id)["a"] == 1
+
+    def test_duplicate_id_rejected(self):
+        coll = self.make()
+        with pytest.raises(DuplicateKeyError):
+            coll.insert_one({"_id": "r0"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(DocumentStoreError):
+            Collection("c").insert_one([1, 2])
+
+    def test_insert_copies_document(self):
+        coll = Collection("c")
+        original = {"a": [1]}
+        doc_id = coll.insert_one(original)
+        original["a"].append(2)
+        assert coll.get(doc_id)["a"] == [1]
+
+    def test_find_returns_copies(self):
+        coll = self.make()
+        hit = coll.find({"_id": "r0"})[0]
+        hit["n"] = 999
+        assert coll.get("r0")["n"] == 0
+
+    def test_find_with_sort_skip_limit(self):
+        coll = self.make()
+        hits = coll.find({}, sort=[("n", -1)], skip=2, limit=3)
+        assert [h["n"] for h in hits] == [7, 6, 5]
+
+    def test_sort_direction_validated(self):
+        coll = self.make()
+        with pytest.raises(QueryError):
+            coll.find({}, sort=[("n", 2)])
+
+    def test_projection(self):
+        coll = self.make()
+        hit = coll.find({"_id": "r1"}, projection=["cat"])[0]
+        assert set(hit) == {"_id", "cat"}
+
+    def test_count_and_len(self):
+        coll = self.make()
+        assert len(coll) == 10
+        assert coll.count({"cat": "cvd"}) == 5
+
+    def test_distinct(self):
+        coll = self.make()
+        assert coll.distinct("cat") == ["cvd", "other"]
+
+    def test_find_one_none(self):
+        assert self.make().find_one({"n": 99}) is None
+
+    def test_update_set_inc(self):
+        coll = self.make()
+        n = coll.update_many({"cat": "cvd"}, {"$set": {"flag": True}, "$inc": {"n": 100}})
+        assert n == 5
+        assert coll.get("r0")["n"] == 100
+        assert coll.get("r1").get("flag") is None
+
+    def test_update_one_only_first(self):
+        coll = self.make()
+        assert coll.update_one({"cat": "cvd"}, {"$set": {"x": 1}}) == 1
+        assert coll.count({"x": 1}) == 1
+
+    def test_update_push_pull_addtoset(self):
+        coll = Collection("c")
+        coll.insert_one({"_id": "a", "tags": ["x"]})
+        coll.update_one({"_id": "a"}, {"$push": {"tags": "y"}})
+        coll.update_one({"_id": "a"}, {"$addToSet": {"tags": "y"}})
+        assert coll.get("a")["tags"] == ["x", "y"]
+        coll.update_one({"_id": "a"}, {"$pull": {"tags": "x"}})
+        assert coll.get("a")["tags"] == ["y"]
+
+    def test_update_unset_rename(self):
+        coll = Collection("c")
+        coll.insert_one({"_id": "a", "old": 1, "tmp": 2})
+        coll.update_one({"_id": "a"}, {"$unset": {"tmp": ""}})
+        coll.update_one({"_id": "a"}, {"$rename": {"old": "new"}})
+        doc = coll.get("a")
+        assert "tmp" not in doc
+        assert doc["new"] == 1
+
+    def test_update_nested_set(self):
+        coll = Collection("c")
+        coll.insert_one({"_id": "a"})
+        coll.update_one({"_id": "a"}, {"$set": {"meta.deep.x": 5}})
+        assert coll.get("a")["meta"]["deep"]["x"] == 5
+
+    def test_unknown_update_operator(self):
+        coll = self.make()
+        with pytest.raises(QueryError):
+            coll.update_one({}, {"$frob": {}})
+
+    def test_replace_one_keeps_id(self):
+        coll = self.make()
+        assert coll.replace_one({"_id": "r0"}, {"fresh": True}) == 1
+        doc = coll.get("r0")
+        assert doc == {"_id": "r0", "fresh": True}
+
+    def test_delete(self):
+        coll = self.make()
+        assert coll.delete_one({"cat": "cvd"}) == 1
+        assert coll.delete_many({"cat": "cvd"}) == 4
+        assert coll.count({"cat": "cvd"}) == 0
+
+    def test_index_accelerated_find_matches_scan(self):
+        coll = self.make()
+        without = {d["_id"] for d in coll.find({"cat": "cvd"})}
+        coll.create_index("cat")
+        with_index = {d["_id"] for d in coll.find({"cat": "cvd"})}
+        assert without == with_index
+
+    def test_index_stays_correct_after_updates(self):
+        coll = self.make()
+        coll.create_index("cat")
+        coll.update_one({"_id": "r0"}, {"$set": {"cat": "moved"}})
+        assert coll.count({"cat": "moved"}) == 1
+        coll.delete_one({"_id": "r2"})
+        assert coll.count({"cat": "cvd"}) == 3
+
+    def test_in_query_uses_index(self):
+        coll = self.make()
+        coll.create_index("cat")
+        hits = coll.find({"cat": {"$in": ["cvd", "other"]}})
+        assert len(hits) == 10
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        coll = self.make()
+        path = tmp_path / "dump.jsonl"
+        assert coll.dump_jsonl(path) == 10
+        fresh = Collection("reports")
+        assert fresh.load_jsonl(path) == 10
+        assert fresh.get("r3") == coll.get("r3")
+
+
+class TestSecondaryIndex:
+    def test_multikey_arrays(self):
+        index = SecondaryIndex("tags")
+        index.add("d1", {"tags": ["a", "b"]})
+        assert index.lookup("a") == {"d1"}
+        assert index.lookup("b") == {"d1"}
+
+    def test_remove(self):
+        index = SecondaryIndex("x")
+        index.add("d1", {"x": 1})
+        index.remove("d1", {"x": 1})
+        assert index.lookup(1) == set()
+
+    def test_missing_field_not_indexed(self):
+        index = SecondaryIndex("x")
+        index.add("d1", {"y": 1})
+        assert len(index) == 0
+
+
+class TestDocumentStore:
+    def test_collections_created_on_demand(self):
+        store = DocumentStore()
+        store.collection("a").insert_one({"x": 1})
+        assert store.collection_names() == ["a"]
+
+    def test_drop_collection(self):
+        store = DocumentStore()
+        store.collection("a")
+        store.drop_collection("a")
+        assert store.collection_names() == []
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = DocumentStore()
+        store.collection("reports").insert_many([{"_id": "a"}, {"_id": "b"}])
+        store.collection("users").insert_one({"_id": "u1"})
+        counts = store.save(tmp_path)
+        assert counts == {"reports": 2, "users": 1}
+        loaded = DocumentStore.load(tmp_path)
+        assert loaded.collection("reports").count() == 2
+        assert loaded.collection("users").get("u1") == {"_id": "u1"}
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(DocumentStoreError):
+            DocumentStore.load(tmp_path / "nope")

@@ -1,0 +1,155 @@
+"""Tests for the aggregation pipeline."""
+
+import pytest
+
+from repro.docstore.aggregate import run_pipeline
+from repro.docstore.store import Collection
+from repro.exceptions import QueryError
+
+DOCS = [
+    {"_id": "a", "category": "cvd", "year": 2018, "cites": 4, "tags": ["x", "y"]},
+    {"_id": "b", "category": "cvd", "year": 2019, "cites": 2, "tags": ["x"]},
+    {"_id": "c", "category": "cancer", "year": 2018, "cites": 10, "tags": []},
+    {"_id": "d", "category": "cancer", "year": 2020, "cites": 6, "tags": ["z"]},
+    {"_id": "e", "category": "neuro", "year": 2020, "cites": 1, "tags": ["x"]},
+]
+
+
+def coll():
+    collection = Collection("agg")
+    collection.insert_many(DOCS)
+    return collection
+
+
+class TestStages:
+    def test_match_group_count(self):
+        rows = coll().aggregate(
+            [
+                {"$match": {"year": {"$gte": 2019}}},
+                {"$group": {"_id": "$category", "n": {"$count": 1}}},
+            ]
+        )
+        assert {row["_id"]: row["n"] for row in rows} == {
+            "cvd": 1,
+            "cancer": 1,
+            "neuro": 1,
+        }
+
+    def test_group_sum_avg(self):
+        rows = coll().aggregate(
+            [
+                {
+                    "$group": {
+                        "_id": "$category",
+                        "total": {"$sum": "$cites"},
+                        "mean": {"$avg": "$cites"},
+                    }
+                }
+            ]
+        )
+        by_cat = {row["_id"]: row for row in rows}
+        assert by_cat["cvd"]["total"] == 6
+        assert by_cat["cvd"]["mean"] == pytest.approx(3.0)
+        assert by_cat["cancer"]["total"] == 16
+
+    def test_group_min_max_push(self):
+        rows = coll().aggregate(
+            [
+                {
+                    "$group": {
+                        "_id": "$category",
+                        "first": {"$min": "$year"},
+                        "last": {"$max": "$year"},
+                        "ids": {"$push": "$_id"},
+                    }
+                }
+            ]
+        )
+        by_cat = {row["_id"]: row for row in rows}
+        assert by_cat["cancer"]["first"] == 2018
+        assert by_cat["cancer"]["last"] == 2020
+        assert by_cat["cvd"]["ids"] == ["a", "b"]
+
+    def test_group_literal_sum_counts(self):
+        rows = coll().aggregate(
+            [{"$group": {"_id": "$year", "n": {"$sum": 1}}}]
+        )
+        assert {row["_id"]: row["n"] for row in rows} == {
+            2018: 2,
+            2019: 1,
+            2020: 2,
+        }
+
+    def test_sort_limit_skip(self):
+        rows = coll().aggregate(
+            [{"$sort": {"cites": -1}}, {"$skip": 1}, {"$limit": 2}]
+        )
+        assert [row["_id"] for row in rows] == ["d", "a"]
+
+    def test_project_includes_and_expressions(self):
+        rows = coll().aggregate(
+            [
+                {"$match": {"_id": "a"}},
+                {
+                    "$project": {
+                        "category": 1,
+                        "label": {"$concat": ["$category", "-", "$_id"]},
+                    }
+                },
+            ]
+        )
+        assert rows == [
+            {"_id": "a", "category": "cvd", "label": "cvd-a"}
+        ]
+
+    def test_unwind(self):
+        rows = coll().aggregate(
+            [
+                {"$unwind": "$tags"},
+                {"$group": {"_id": "$tags", "n": {"$count": 1}}},
+                {"$sort": {"n": -1}},
+            ]
+        )
+        assert rows[0] == {"_id": "x", "n": 3}
+
+    def test_compound_group_id(self):
+        rows = coll().aggregate(
+            [
+                {
+                    "$group": {
+                        "_id": {"cat": "$category", "year": "$year"},
+                        "n": {"$count": 1},
+                    }
+                }
+            ]
+        )
+        assert {"cat": "cvd", "year": 2018} in [row["_id"] for row in rows]
+
+    def test_pipeline_does_not_mutate_source(self):
+        collection = coll()
+        collection.aggregate([{"$project": {"category": 1}}])
+        assert collection.get("a")["cites"] == 4
+
+
+class TestErrors:
+    def test_unknown_stage(self):
+        with pytest.raises(QueryError):
+            run_pipeline(DOCS, [{"$frobnicate": {}}])
+
+    def test_group_without_id(self):
+        with pytest.raises(QueryError):
+            run_pipeline(DOCS, [{"$group": {"n": {"$count": 1}}}])
+
+    def test_unknown_accumulator(self):
+        with pytest.raises(QueryError):
+            run_pipeline(
+                DOCS, [{"$group": {"_id": "$category", "n": {"$median": "$cites"}}}]
+            )
+
+    def test_bad_unwind_path(self):
+        with pytest.raises(QueryError):
+            run_pipeline(DOCS, [{"$unwind": "tags"}])
+
+    def test_multi_key_stage_rejected(self):
+        with pytest.raises(QueryError):
+            run_pipeline(DOCS, [{"$match": {}, "$limit": 1}])

@@ -1,0 +1,82 @@
+"""Tests for remaining paths: gold-annotation mode, misc utilities."""
+
+import pytest
+
+from repro.pipeline import build_demo_system
+
+
+class TestGoldAnnotationMode:
+    @pytest.fixture(scope="class")
+    def gold_system(self):
+        return build_demo_system(
+            n_reports=10, n_train=10, seed=3, use_gold_annotations=True
+        )
+
+    def test_indexes_without_crawling(self, gold_system):
+        pipeline, reports = gold_system
+        assert pipeline.stats.indexed == len(reports)
+        assert pipeline.stats.crawled == 0
+
+    def test_gold_graph_matches_annotations(self, gold_system):
+        pipeline, reports = gold_system
+        report = reports[0]
+        nodes = pipeline.indexer.graph.find_nodes(doc_id=report.report_id)
+        assert len(nodes) == len(report.annotations.textbounds)
+
+    def test_category_metadata_preserved(self, gold_system):
+        pipeline, reports = gold_system
+        stored = pipeline.store.collection("reports").get(
+            reports[0].report_id
+        )
+        assert stored["category"] == reports[0].category
+
+    def test_categories_endpoint_with_gold_corpus(self, gold_system):
+        pipeline, reports = gold_system
+        response = pipeline.app.handle("GET", "/categories")
+        assert response.ok
+        total = sum(row["count"] for row in response.body["categories"])
+        assert total == len(reports)
+
+    def test_gold_search_quality_upper_bound(self, gold_system):
+        pipeline, reports = gold_system
+        report = reports[0]
+        symptoms = report.annotations.spans_with_label("Sign_symptom")
+        results = pipeline.searcher.search(symptoms[0].text, size=10)
+        assert any(r.doc_id == report.report_id for r in results)
+
+
+class TestMiscellaneous:
+    def test_version_exported(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_importable(self):
+        from repro import (
+            ClinicalExtractor,
+            CreatePipeline,
+            build_demo_system,
+        )
+
+        assert callable(build_demo_system)
+        assert ClinicalExtractor is not None
+        assert CreatePipeline is not None
+
+    def test_exceptions_hierarchy(self):
+        from repro import exceptions
+
+        for name in (
+            "SchemaError", "AnnotationError", "DocumentStoreError",
+            "SearchError", "GraphError", "CypherError", "ParseError",
+            "CrawlError", "ModelError", "TemporalInconsistencyError",
+            "PipelineError", "ApiError",
+        ):
+            klass = getattr(exceptions, name)
+            assert issubclass(klass, exceptions.ReproError)
+
+    def test_api_error_carries_status(self):
+        from repro.exceptions import ApiError
+
+        error = ApiError(404, "nope")
+        assert error.status == 404
+        assert error.message == "nope"

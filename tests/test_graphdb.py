@@ -1,0 +1,288 @@
+"""Tests for the property graph store, pattern matching and mini-Cypher."""
+
+import pytest
+
+from repro.exceptions import CypherError, GraphError
+from repro.graphdb.cypher import CypherEngine
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.match import (
+    EdgePattern,
+    GraphPattern,
+    NodePattern,
+    match_pattern,
+)
+
+
+def clinical_graph():
+    g = PropertyGraph()
+    g.add_node("n1", label="fever", entityType="Sign_symptom", doc_id="d1")
+    g.add_node("n2", label="cough", entityType="Sign_symptom", doc_id="d1")
+    g.add_node("n3", label="aspirin", entityType="Medication", doc_id="d1")
+    g.add_node("n4", label="fever", entityType="Sign_symptom", doc_id="d2")
+    g.add_edge("n1", "n2", "OVERLAP")
+    g.add_edge("n1", "n3", "BEFORE")
+    g.add_edge("n2", "n3", "BEFORE")
+    return g
+
+
+class TestPropertyGraph:
+    def test_counts(self):
+        g = clinical_graph()
+        assert g.n_nodes == 4
+        assert g.n_edges == 3
+
+    def test_node_lookup(self):
+        g = clinical_graph()
+        assert g.node("n1").get("label") == "fever"
+        with pytest.raises(GraphError):
+            g.node("missing")
+
+    def test_add_node_merges_properties(self):
+        g = clinical_graph()
+        g.add_node("n1", severity="mild")
+        node = g.node("n1")
+        assert node.get("label") == "fever"
+        assert node.get("severity") == "mild"
+
+    def test_edge_requires_endpoints(self):
+        g = clinical_graph()
+        with pytest.raises(GraphError):
+            g.add_edge("n1", "nope", "BEFORE")
+
+    def test_out_in_edges_with_label_filter(self):
+        g = clinical_graph()
+        assert len(g.out_edges("n1")) == 2
+        assert len(g.out_edges("n1", label="BEFORE")) == 1
+        assert len(g.in_edges("n3")) == 2
+
+    def test_neighbors(self):
+        g = clinical_graph()
+        assert g.neighbors("n2") == {"n1", "n3"}
+
+    def test_remove_node_drops_incident_edges(self):
+        g = clinical_graph()
+        g.remove_node("n3")
+        assert g.n_edges == 1
+        assert g.out_edges("n1", label="BEFORE") == []
+
+    def test_remove_edge(self):
+        g = clinical_graph()
+        edge = g.out_edges("n1", label="OVERLAP")[0]
+        g.remove_edge(edge.edge_id)
+        assert g.out_edges("n1", label="OVERLAP") == []
+
+    def test_find_nodes_scan(self):
+        g = clinical_graph()
+        hits = g.find_nodes(entityType="Sign_symptom")
+        assert {n.node_id for n in hits} == {"n1", "n2", "n4"}
+
+    def test_find_nodes_with_index(self):
+        g = clinical_graph()
+        g.create_property_index("entityType")
+        hits = g.find_nodes(entityType="Medication")
+        assert [n.node_id for n in hits] == ["n3"]
+
+    def test_index_updates_with_mutations(self):
+        g = clinical_graph()
+        g.create_property_index("entityType")
+        g.add_node("n5", entityType="Medication", label="heparin")
+        assert len(g.find_nodes(entityType="Medication")) == 2
+        g.remove_node("n3")
+        assert len(g.find_nodes(entityType="Medication")) == 1
+
+    def test_find_nodes_multi_criteria(self):
+        g = clinical_graph()
+        hits = g.find_nodes(entityType="Sign_symptom", doc_id="d2")
+        assert [n.node_id for n in hits] == ["n4"]
+
+
+class TestPatternMatching:
+    def test_single_node_pattern(self):
+        g = clinical_graph()
+        pattern = GraphPattern(
+            nodes=[NodePattern("a", (("entityType", "Medication"),))]
+        )
+        bindings = match_pattern(g, pattern)
+        assert len(bindings) == 1
+        assert bindings[0]["a"].node_id == "n3"
+
+    def test_edge_pattern_directed(self):
+        g = clinical_graph()
+        pattern = GraphPattern(
+            nodes=[
+                NodePattern("s", (("entityType", "Sign_symptom"),)),
+                NodePattern("m", (("entityType", "Medication"),)),
+            ],
+            edges=[EdgePattern("s", "m", "BEFORE")],
+        )
+        bindings = match_pattern(g, pattern)
+        assert {b["s"].node_id for b in bindings} == {"n1", "n2"}
+
+    def test_direction_matters(self):
+        g = clinical_graph()
+        pattern = GraphPattern(
+            nodes=[
+                NodePattern("m", (("entityType", "Medication"),)),
+                NodePattern("s", (("entityType", "Sign_symptom"),)),
+            ],
+            edges=[EdgePattern("m", "s", "BEFORE")],
+        )
+        assert match_pattern(g, pattern) == []
+
+    def test_undirected_edge(self):
+        g = clinical_graph()
+        pattern = GraphPattern(
+            nodes=[NodePattern("a"), NodePattern("b")],
+            edges=[EdgePattern("a", "b", "OVERLAP", directed=False)],
+        )
+        bindings = match_pattern(g, pattern)
+        pairs = {
+            frozenset((b["a"].node_id, b["b"].node_id)) for b in bindings
+        }
+        assert pairs == {frozenset({"n1", "n2"})}
+
+    def test_injective_binding(self):
+        g = clinical_graph()
+        pattern = GraphPattern(
+            nodes=[
+                NodePattern("a", (("entityType", "Medication"),)),
+                NodePattern("b", (("entityType", "Medication"),)),
+            ]
+        )
+        assert match_pattern(g, pattern) == []
+
+    def test_predicate_constraint(self):
+        g = clinical_graph()
+        pattern = GraphPattern(
+            nodes=[
+                NodePattern(
+                    "a",
+                    predicate=lambda node: "fev" in str(node.get("label")),
+                )
+            ]
+        )
+        bindings = match_pattern(g, pattern)
+        assert {b["a"].node_id for b in bindings} == {"n1", "n4"}
+
+    def test_limit(self):
+        g = clinical_graph()
+        pattern = GraphPattern(nodes=[NodePattern("a")])
+        assert len(match_pattern(g, pattern, limit=2)) == 2
+
+    def test_undeclared_edge_var_rejected(self):
+        pattern = GraphPattern(
+            nodes=[NodePattern("a")], edges=[EdgePattern("a", "zz")]
+        )
+        with pytest.raises(ValueError):
+            match_pattern(PropertyGraph(), pattern)
+
+    def test_triangle_pattern(self):
+        g = clinical_graph()
+        pattern = GraphPattern(
+            nodes=[NodePattern("a"), NodePattern("b"), NodePattern("c")],
+            edges=[
+                EdgePattern("a", "b", "OVERLAP"),
+                EdgePattern("a", "c", "BEFORE"),
+                EdgePattern("b", "c", "BEFORE"),
+            ],
+        )
+        bindings = match_pattern(g, pattern)
+        assert len(bindings) == 1
+        assert bindings[0]["c"].node_id == "n3"
+
+
+class TestCypher:
+    def _engine(self):
+        engine = CypherEngine()
+        engine.run(
+            "CREATE (a:Concept {nodeId: 'x1', label: 'fever', "
+            "entityType: 'Sign_symptom'}), (b:Concept {nodeId: 'x2', "
+            "label: 'cough', entityType: 'Sign_symptom'}), "
+            "(a)-[:OVERLAP]->(b)"
+        )
+        return engine
+
+    def test_create_nodes_and_edges(self):
+        engine = self._engine()
+        assert engine.graph.n_nodes == 2
+        assert engine.graph.n_edges == 1
+
+    def test_match_returns_rows(self):
+        engine = self._engine()
+        rows = engine.run(
+            "MATCH (a:Concept)-[r:OVERLAP]->(b:Concept) RETURN a.label, b.label"
+        )
+        assert rows == [{"a.label": "fever", "b.label": "cough"}]
+
+    def test_match_with_where_contains(self):
+        engine = self._engine()
+        rows = engine.run(
+            "MATCH (a:Concept) WHERE a.label CONTAINS 'fev' RETURN a.nodeId"
+        )
+        assert rows == [{"a.nodeId": "x1"}]
+
+    def test_where_equality_and_inequality(self):
+        engine = self._engine()
+        rows = engine.run(
+            "MATCH (a:Concept) WHERE a.label = 'cough' AND a.entityType <> 'Medication' RETURN a.label"
+        )
+        assert rows == [{"a.label": "cough"}]
+
+    def test_count(self):
+        engine = self._engine()
+        assert engine.run("MATCH (a:Concept) RETURN count(*)") == [
+            {"count": 2}
+        ]
+
+    def test_limit(self):
+        engine = self._engine()
+        rows = engine.run("MATCH (a:Concept) RETURN a LIMIT 1")
+        assert len(rows) == 1
+
+    def test_return_whole_node(self):
+        engine = self._engine()
+        rows = engine.run("MATCH (a:Concept {label: 'fever'}) RETURN a")
+        assert rows[0]["a"]["entityType"] == "Sign_symptom"
+
+    def test_numeric_and_boolean_literals(self):
+        engine = CypherEngine()
+        engine.run("CREATE (a:X {n: 3, f: 2.5, ok: true, missing: null})")
+        rows = engine.run("MATCH (a:X) RETURN a.n, a.f, a.ok")
+        assert rows == [{"a.n": 3, "a.f": 2.5, "a.ok": True}]
+
+    def test_reversed_edge_syntax(self):
+        engine = CypherEngine()
+        engine.run(
+            "CREATE (a:X {nodeId: 'a'}), (b:X {nodeId: 'b'}), (a)-[:R]->(b)"
+        )
+        rows = engine.run("MATCH (b:X)<-[:R]-(a:X) RETURN b.nodeId")
+        assert rows == [{"b.nodeId": "b"}]
+
+    def test_undirected_match(self):
+        engine = self._engine()
+        rows = engine.run(
+            "MATCH (a:Concept {label: 'cough'})-[:OVERLAP]-(b) RETURN b.label"
+        )
+        assert rows == [{"b.label": "fever"}]
+
+    def test_escaped_quotes(self):
+        engine = CypherEngine()
+        engine.run("CREATE (a:X {label: 'patient\\'s pain'})")
+        rows = engine.run("MATCH (a:X) RETURN a.label")
+        assert rows == [{"a.label": "patient's pain"}]
+
+    def test_parse_errors(self):
+        engine = CypherEngine()
+        with pytest.raises(CypherError):
+            engine.run("")
+        with pytest.raises(CypherError):
+            engine.run("DELETE (a)")
+        with pytest.raises(CypherError):
+            engine.run("MATCH (a RETURN a")
+        with pytest.raises(CypherError):
+            engine.run("MATCH (a) RETURN a trailing garbage")
+
+    def test_create_edge_unbound_variable(self):
+        engine = CypherEngine()
+        with pytest.raises(CypherError):
+            engine.run("CREATE (a:X)-[:R]->(a)-[:R]->(zz:..)")

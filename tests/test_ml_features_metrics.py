@@ -1,0 +1,190 @@
+"""Tests for feature hashing and evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.features import FeatureHasher, hash_feature
+from repro.ml.metrics import (
+    PRF1,
+    average_precision,
+    classification_f1,
+    confusion_matrix,
+    ndcg_at_k,
+    per_class_f1,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+    span_prf1,
+)
+
+
+class TestFeatureHashing:
+    def test_deterministic(self):
+        assert hash_feature("w=fever", 1024) == hash_feature("w=fever", 1024)
+
+    def test_index_in_range(self):
+        for feature in ("a", "b", "w=fever", "suf3=ver"):
+            index, sign = hash_feature(feature, 128)
+            assert 0 <= index < 128
+            assert sign in (1.0, -1.0)
+
+    def test_transform_shape(self):
+        hasher = FeatureHasher(n_features=256)
+        x = hasher.transform([{"a": 1.0}, {"b": 2.0, "c": 1.0}])
+        assert x.shape == (2, 256)
+        assert x.nnz >= 2
+
+    def test_transform_accepts_iterables(self):
+        hasher = FeatureHasher(n_features=256)
+        x = hasher.transform([["a", "b"], ["c"]])
+        assert x.shape == (2, 256)
+
+    def test_unsigned_mode(self):
+        hasher = FeatureHasher(n_features=64, signed=False)
+        x = hasher.transform([["a", "b", "c", "d"]])
+        assert (x.data > 0).all()
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            FeatureHasher(n_features=0)
+
+    def test_indices_of(self):
+        hasher = FeatureHasher(n_features=512)
+        indices = hasher.indices_of(["a", "b"])
+        assert indices.shape == (2,)
+        assert ((0 <= indices) & (indices < 512)).all()
+
+    @given(st.text(min_size=1, max_size=30), st.integers(2, 1 << 20))
+    def test_hash_bounds_property(self, feature, n):
+        index, sign = hash_feature(feature, n)
+        assert 0 <= index < n
+
+
+class TestClassificationMetrics:
+    def test_perfect(self):
+        score = classification_f1(["a", "b"], ["a", "b"])
+        assert score.f1 == 1.0
+
+    def test_all_wrong(self):
+        score = classification_f1(["a", "b"], ["b", "a"])
+        assert score.f1 == 0.0
+
+    def test_micro_pools_counts(self):
+        gold = ["a", "a", "a", "b"]
+        pred = ["a", "a", "b", "b"]
+        score = classification_f1(gold, pred, average="micro")
+        assert score.precision == pytest.approx(0.75)
+        assert score.recall == pytest.approx(0.75)
+
+    def test_macro_averages_classes(self):
+        gold = ["a", "a", "a", "b"]
+        pred = ["a", "a", "a", "a"]
+        micro = classification_f1(gold, pred, average="micro")
+        macro = classification_f1(gold, pred, average="macro")
+        assert macro.f1 < micro.f1  # the empty b class drags macro down
+
+    def test_exclude_label(self):
+        gold = ["NONE", "a"]
+        pred = ["NONE", "a"]
+        score = classification_f1(gold, pred, exclude=frozenset({"NONE"}))
+        assert score.gold == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            classification_f1(["a"], [])
+
+    def test_unknown_average(self):
+        with pytest.raises(ValueError):
+            classification_f1(["a"], ["a"], average="harmonic")
+
+    def test_confusion_matrix(self):
+        counts = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert counts[("a", "a")] == 1
+        assert counts[("a", "b")] == 1
+        assert counts[("b", "b")] == 1
+
+    def test_per_class_report(self):
+        report = per_class_f1(["a", "b", "b"], ["a", "b", "a"])
+        assert report["a"].precision == pytest.approx(0.5)
+        assert report["b"].recall == pytest.approx(0.5)
+
+    def test_prf1_zero_division(self):
+        score = PRF1.from_counts(0, 0, 0)
+        assert score.f1 == 0.0
+
+    @given(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=50)
+    )
+    def test_micro_f1_on_identical_is_one(self, labels):
+        assert classification_f1(labels, list(labels)).f1 == 1.0
+
+
+class TestSpanMetrics:
+    def test_exact_match_required(self):
+        gold = [[(0, 5, "S")]]
+        pred = [[(0, 4, "S")]]
+        assert span_prf1(gold, pred).f1 == 0.0
+
+    def test_label_must_match(self):
+        gold = [[(0, 5, "S")]]
+        pred = [[(0, 5, "T")]]
+        assert span_prf1(gold, pred).f1 == 0.0
+
+    def test_micro_over_documents(self):
+        gold = [[(0, 5, "S")], [(1, 2, "T"), (3, 4, "T")]]
+        pred = [[(0, 5, "S")], [(1, 2, "T")]]
+        score = span_prf1(gold, pred)
+        assert score.precision == 1.0
+        assert score.recall == pytest.approx(2 / 3)
+
+    def test_doc_count_mismatch(self):
+        with pytest.raises(ValueError):
+            span_prf1([[]], [[], []])
+
+
+class TestRetrievalMetrics:
+    def test_precision_at_k(self):
+        assert precision_at_k(["a", "b", "c"], {"a", "c"}, 2) == 0.5
+
+    def test_precision_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], {"a"}, 0)
+
+    def test_recall_at_k(self):
+        assert recall_at_k(["a", "b"], {"a", "z"}, 2) == 0.5
+
+    def test_average_precision_perfect(self):
+        assert average_precision(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_average_precision_late_hit(self):
+        assert average_precision(["x", "a"], {"a"}) == 0.5
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["x", "a"], {"a"}) == 0.5
+        assert reciprocal_rank(["x"], {"a"}) == 0.0
+
+    def test_ndcg_ideal_ordering(self):
+        gains = {"a": 2.0, "b": 1.0}
+        assert ndcg_at_k(["a", "b"], gains, 2) == pytest.approx(1.0)
+
+    def test_ndcg_penalizes_inversion(self):
+        gains = {"a": 2.0, "b": 1.0}
+        assert ndcg_at_k(["b", "a"], gains, 2) < 1.0
+
+    def test_ndcg_empty_gains(self):
+        assert ndcg_at_k(["a"], {}, 5) == 0.0
+
+    @given(
+        st.lists(st.integers(0, 30), unique=True, min_size=1, max_size=20),
+        st.sets(st.integers(0, 30), max_size=10),
+    )
+    def test_metrics_bounded(self, ranked, relevant):
+        for value in (
+            precision_at_k(ranked, relevant, 5),
+            recall_at_k(ranked, relevant, 5),
+            average_precision(ranked, relevant),
+            reciprocal_rank(ranked, relevant),
+            ndcg_at_k(ranked, {d: 1.0 for d in relevant}, 5),
+        ):
+            assert 0.0 <= value <= 1.0 + 1e-9

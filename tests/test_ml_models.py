@@ -1,0 +1,176 @@
+"""Tests for the trainable models: CRF, perceptron, logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.crf import LinearChainCRF
+from repro.ml.features import FeatureHasher
+from repro.ml.logistic import LogisticRegression, softmax
+from repro.ml.perceptron import StructuredPerceptron
+
+HASHER = FeatureHasher(n_features=1 << 12)
+
+
+def feats(words):
+    return [
+        HASHER.indices_of([f"w={w}", f"suf={w[-2:]}", f"pre={w[:2]}"])
+        for w in words
+    ]
+
+
+def toy_sequences(n_copies=15):
+    xs = [
+        feats(["fever", "and", "cough"]),
+        feats(["no", "fever", "today"]),
+        feats(["cough", "resolved", "fully"]),
+    ] * n_copies
+    ys = [
+        ["B-S", "O", "B-S"],
+        ["O", "B-S", "O"],
+        ["B-S", "O", "O"],
+    ] * n_copies
+    return xs, ys
+
+
+class TestLinearChainCRF:
+    def test_learns_toy_task(self):
+        xs, ys = toy_sequences()
+        crf = LinearChainCRF(n_features=1 << 12, epochs=4).fit(xs, ys)
+        assert crf.predict(feats(["fever", "and", "cough"])) == [
+            "B-S",
+            "O",
+            "B-S",
+        ]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearChainCRF().predict([np.array([1])])
+
+    def test_empty_sequence_predicts_empty(self):
+        xs, ys = toy_sequences(3)
+        crf = LinearChainCRF(n_features=1 << 12, epochs=2).fit(xs, ys)
+        assert crf.predict([]) == []
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            LinearChainCRF().fit([[np.array([1])]], [])
+
+    def test_no_labels_rejected(self):
+        with pytest.raises(ModelError):
+            LinearChainCRF().fit([], [])
+
+    def test_log_likelihood_nonpositive(self):
+        xs, ys = toy_sequences(5)
+        crf = LinearChainCRF(n_features=1 << 12, epochs=2).fit(xs, ys)
+        ll = crf.sequence_log_likelihood(xs[0], ys[0])
+        assert ll <= 1e-9
+
+    def test_gold_likelihood_beats_wrong(self):
+        xs, ys = toy_sequences()
+        crf = LinearChainCRF(n_features=1 << 12, epochs=4).fit(xs, ys)
+        good = crf.sequence_log_likelihood(xs[0], ys[0])
+        bad = crf.sequence_log_likelihood(xs[0], ["O", "B-S", "O"])
+        assert good > bad
+
+    def test_predict_batch(self):
+        xs, ys = toy_sequences(5)
+        crf = LinearChainCRF(n_features=1 << 12, epochs=2).fit(xs, ys)
+        out = crf.predict_batch(xs[:3])
+        assert len(out) == 3
+
+    def test_deterministic_given_seed(self):
+        xs, ys = toy_sequences(5)
+        a = LinearChainCRF(n_features=1 << 12, epochs=2, seed=5).fit(xs, ys)
+        b = LinearChainCRF(n_features=1 << 12, epochs=2, seed=5).fit(xs, ys)
+        assert a.predict(xs[0]) == b.predict(xs[0])
+
+
+class TestStructuredPerceptron:
+    def test_learns_toy_task(self):
+        xs, ys = toy_sequences()
+        model = StructuredPerceptron(n_features=1 << 12, epochs=5).fit(xs, ys)
+        assert model.predict(feats(["no", "fever", "today"])) == [
+            "O",
+            "B-S",
+            "O",
+        ]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StructuredPerceptron().predict([np.array([0])])
+
+    def test_empty_sequence(self):
+        xs, ys = toy_sequences(3)
+        model = StructuredPerceptron(n_features=1 << 12, epochs=2).fit(xs, ys)
+        assert model.predict([]) == []
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            StructuredPerceptron().fit([], [["A"]])
+
+
+class TestLogisticRegression:
+    def _separable(self, n=120, d=64, seed=3):
+        rng = np.random.default_rng(seed)
+        from scipy import sparse
+
+        x = sparse.csr_matrix(rng.normal(size=(n, d)))
+        w = rng.normal(size=(d, 3))
+        y = np.argmax(x @ w, axis=1)
+        return x, np.asarray(y).ravel()
+
+    def test_fits_separable_data(self):
+        x, y = self._separable()
+        model = LogisticRegression(3, x.shape[1]).fit(x, y, epochs=40)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_proba_rows_sum_to_one(self):
+        x, y = self._separable()
+        model = LogisticRegression(3, x.shape[1]).fit(x, y, epochs=5)
+        probs = model.predict_proba(x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ModelError):
+            LogisticRegression(1, 8)
+
+    def test_rejects_label_out_of_range(self):
+        x, _y = self._separable(n=10)
+        with pytest.raises(ModelError):
+            LogisticRegression(2, x.shape[1]).fit(x, np.full(10, 5))
+
+    def test_rejects_row_mismatch(self):
+        x, y = self._separable(n=10)
+        with pytest.raises(ModelError):
+            LogisticRegression(3, x.shape[1]).fit(x, y[:5])
+
+    def test_require_fitted(self):
+        model = LogisticRegression(2, 8)
+        with pytest.raises(NotFittedError):
+            model.require_fitted()
+
+    def test_ce_gradient_decreases_loss(self):
+        x, y = self._separable(n=60)
+        model = LogisticRegression(3, x.shape[1], learning_rate=0.1)
+        loss_before, grad_w, grad_b = model.ce_gradient(x, y)
+        for _ in range(20):
+            _loss, grad_w, grad_b = model.ce_gradient(x, y)
+            model.step(grad_w, grad_b)
+        loss_after, _gw, _gb = model.ce_gradient(x, y)
+        assert loss_after < loss_before
+
+    def test_grad_from_dlogits_shape(self):
+        x, y = self._separable(n=10)
+        model = LogisticRegression(3, x.shape[1])
+        dlogits = np.ones((10, 3))
+        grad_w, grad_b = model.grad_from_dlogits(x, dlogits)
+        assert grad_w.shape == model.weights.shape
+        assert grad_b.shape == model.bias.shape
+
+    def test_softmax_stability(self):
+        logits = np.array([[1000.0, 1000.0], [-1000.0, 0.0]])
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert not np.isnan(probs).any()

@@ -1,0 +1,176 @@
+"""Tests for the NER module: BIO encoding, baselines, the tagger."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.generator import CaseReportGenerator
+from repro.exceptions import ModelError, NotFittedError
+from repro.ner.baseline import LexiconTagger
+from repro.ner.encoding import bio_decode, bio_encode, spans_of_document
+from repro.ner.tagger import NerTagger, _shape, token_features
+from repro.text.tokenize import tokenize
+
+TEXT = "The patient developed fever and a mild cough."
+
+
+class TestBioEncoding:
+    def test_encode_simple(self):
+        tokens = tokenize(TEXT)
+        labels = bio_encode(tokens, [(22, 27, "S")])
+        fever_index = [t.text for t in tokens].index("fever")
+        assert labels[fever_index] == "B-S"
+        assert labels.count("O") == len(tokens) - 1
+
+    def test_encode_multiword(self):
+        text = "acute chest pain here"
+        tokens = tokenize(text)
+        labels = bio_encode(tokens, [(6, 16, "S")])
+        assert labels == ["O", "B-S", "I-S", "O"]
+
+    def test_overlapping_spans_longest_wins(self):
+        text = "severe chest pain"
+        tokens = tokenize(text)
+        labels = bio_encode(
+            tokens, [(7, 17, "S"), (7, 12, "T")]
+        )
+        assert labels == ["O", "B-S", "I-S"]
+
+    def test_decode_roundtrip(self):
+        text = "acute chest pain and fever today"
+        tokens = tokenize(text)
+        spans = [(6, 16, "S"), (21, 26, "S")]
+        decoded = bio_decode(tokens, bio_encode(tokens, spans))
+        assert decoded == spans
+
+    def test_decode_tolerates_orphan_inside(self):
+        tokens = tokenize("a b c")
+        spans = bio_decode(tokens, ["O", "I-S", "I-S"])
+        assert spans == [(2, 5, "S")]
+
+    def test_decode_label_change_closes_span(self):
+        tokens = tokenize("a b c")
+        spans = bio_decode(tokens, ["B-S", "I-T", "O"])
+        assert spans == [(0, 1, "S"), (2, 3, "T")]
+
+    def test_decode_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bio_decode(tokenize("a b"), ["O"])
+
+    def test_spans_of_document(self, one_report):
+        spans = spans_of_document(one_report.annotations)
+        assert spans
+        assert all(
+            one_report.text[start:end] for start, end, _label in spans
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(1, 3)),
+            max_size=4,
+        )
+    )
+    @settings(deadline=None)
+    def test_encode_decode_stability(self, raw_spans):
+        # Encoding then decoding then re-encoding is a fixpoint.
+        text = "alpha beta gamma delta epsilon zeta eta theta iota kappa"
+        tokens = tokenize(text)
+        spans = []
+        for token_index, width in raw_spans:
+            last = min(token_index + width - 1, len(tokens) - 1)
+            spans.append((tokens[token_index].start, tokens[last].end, "S"))
+        labels = bio_encode(tokens, spans)
+        decoded = bio_decode(tokens, labels)
+        assert bio_encode(tokens, decoded) == labels
+
+
+class TestShapeAndFeatures:
+    def test_shape(self):
+        assert _shape("Chest") == "Xx"
+        assert _shape("120/80") == "d/d"
+        assert _shape("COVID-19") == "X-d"
+
+    def test_token_features_context(self):
+        tokens = tokenize("no fever today")
+        feats = token_features(tokens, 1)
+        assert "w=fever" in feats
+        assert "prev_w=no" in feats
+        assert "next_w=today" in feats
+
+    def test_boundary_features(self):
+        tokens = tokenize("fever")
+        feats = token_features(tokens, 0)
+        assert "BOS" in feats
+        assert "EOS" in feats
+
+
+@pytest.fixture(scope="module")
+def tiny_ner_data():
+    generator = CaseReportGenerator(seed=31)
+    train = [generator.generate(f"tr{i}").annotations for i in range(14)]
+    test = [generator.generate(f"te{i}").annotations for i in range(4)]
+    return train, test
+
+
+class TestLexiconTagger:
+    def test_memorizes_training_surfaces(self, tiny_ner_data):
+        train, _test = tiny_ner_data
+        tagger = LexiconTagger().fit(train)
+        assert tagger.n_entries > 0
+        predicted = set(tagger.predict_document(train[0]))
+        gold = set(spans_of_document(train[0]))
+        assert len(predicted & gold) / len(gold) > 0.7
+
+    def test_longest_match_preferred(self):
+        from repro.annotation.model import AnnotationDocument
+
+        doc = AnnotationDocument(doc_id="d", text="acute chest pain")
+        doc.add_textbound("Sign_symptom", 6, 16)   # chest pain
+        doc.add_textbound("Severity", 0, 5)        # acute
+        tagger = LexiconTagger().fit([doc])
+        spans = tagger.predict_spans("she had acute chest pain")
+        assert (14, 24, "Sign_symptom") in spans
+
+    def test_unseen_text_yields_nothing(self, tiny_ner_data):
+        train, _ = tiny_ner_data
+        tagger = LexiconTagger().fit(train)
+        assert tagger.predict_spans("zzz qqq www") == []
+
+
+class TestNerTagger:
+    def test_crf_learns_and_evaluates(self, tiny_ner_data):
+        train, test = tiny_ner_data
+        tagger = NerTagger(decoder="crf", epochs=3).fit(train)
+        score = tagger.evaluate(test)
+        assert score.f1 > 0.6
+
+    def test_perceptron_decoder(self, tiny_ner_data):
+        train, test = tiny_ner_data
+        tagger = NerTagger(decoder="perceptron", epochs=3).fit(train)
+        assert tagger.evaluate(test).f1 > 0.4
+
+    def test_embeddings_autofit_when_enabled(self, tiny_ner_data):
+        train, test = tiny_ner_data
+        tagger = NerTagger(
+            decoder="crf", use_context_embeddings=True, epochs=2
+        ).fit(train)
+        assert tagger.embedder is not None
+        assert tagger.evaluate(test).f1 > 0.4
+
+    def test_predict_spans_offsets_valid(self, tiny_ner_data):
+        train, _ = tiny_ner_data
+        tagger = NerTagger(decoder="crf", epochs=2).fit(train)
+        text = train[0].text
+        for span in tagger.predict_spans(text):
+            assert text[span.start : span.end] == span.text
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            NerTagger().predict_spans("text")
+
+    def test_unknown_decoder_rejected(self):
+        with pytest.raises(ModelError):
+            NerTagger(decoder="transformer")
+
+    def test_unknown_embedding_mode_rejected(self):
+        with pytest.raises(ModelError):
+            NerTagger(embedding_feature_mode="magic")

@@ -1,0 +1,81 @@
+"""Integration tests: the full crawl->parse->extract->index->serve flow."""
+
+import pytest
+
+from repro.corpus.generator import CaseReportGenerator
+from repro.crawler.repository import SyntheticPubMed
+from repro.exceptions import PipelineError
+from repro.ner.encoding import spans_of_document
+from repro.pipeline import ClinicalExtractor, CreatePipeline
+
+
+class TestClinicalExtractor:
+    def test_train_requires_data(self):
+        with pytest.raises(PipelineError):
+            ClinicalExtractor.train([])
+
+    def test_extraction_quality_on_held_out(self, demo_system):
+        pipeline, _ = demo_system
+        generator = CaseReportGenerator(seed=909)
+        report = generator.generate("held-out")
+        extracted = pipeline.extractor.extract("held-out", report.text)
+        extracted.verify()
+        gold = set(spans_of_document(report.annotations))
+        predicted = set(spans_of_document(extracted))
+        recall = len(gold & predicted) / len(gold)
+        assert recall > 0.5
+
+    def test_extraction_produces_relations(self, demo_system):
+        pipeline, _ = demo_system
+        report = CaseReportGenerator(seed=910).generate("x")
+        extracted = pipeline.extractor.extract("x", report.text)
+        assert extracted.relations
+
+    def test_extracted_relations_globally_consistent(self, demo_system):
+        from repro.temporal.graph import TemporalGraph
+        from repro.temporal.relations import THREE_WAY_ALGEBRA
+
+        pipeline, _ = demo_system
+        report = CaseReportGenerator(seed=911).generate("y")
+        extracted = pipeline.extractor.extract("y", report.text)
+        graph = TemporalGraph(algebra=THREE_WAY_ALGEBRA)
+        for rel in extracted.relations.values():
+            if rel.label in ("BEFORE", "AFTER", "OVERLAP"):
+                graph.add(rel.source, rel.target, rel.label)
+        assert graph.is_consistent()
+
+
+class TestPipelineRun:
+    def test_stats_consistent(self, demo_system):
+        pipeline, reports = demo_system
+        assert pipeline.stats.crawled == len(reports)
+        assert pipeline.stats.parsed == pipeline.stats.crawled
+        assert pipeline.stats.indexed == pipeline.stats.extracted
+        assert pipeline.stats.graph_nodes > 0
+
+    def test_every_report_stored_and_searchable(self, demo_system):
+        pipeline, reports = demo_system
+        assert pipeline.store.collection("reports").count() >= len(reports)
+        assert pipeline.indexer.engine.n_documents >= len(reports)
+
+    def test_search_finds_relevant_report(self, demo_system):
+        pipeline, reports = demo_system
+        report = reports[0]
+        symptom = report.annotations.spans_with_label("Sign_symptom")[0]
+        results = pipeline.searcher.search(symptom.text, size=16)
+        assert any(r.doc_id == report.pmid for r in results)
+
+    def test_parse_failures_counted(self, demo_system):
+        pipeline, _ = demo_system
+        assert pipeline.stats.parse_failures == 0
+
+    def test_fresh_pipeline_small_site(self, demo_system):
+        # Re-ingesting a tiny site with the already-trained extractor.
+        trained, _ = demo_system
+        pipeline = CreatePipeline(extractor=trained.extractor)
+        generator = CaseReportGenerator(seed=955)
+        reports = [generator.generate(f"mini-{i}") for i in range(3)]
+        site = SyntheticPubMed(reports, seed=1)
+        stats = pipeline.ingest_from_site(site)
+        assert stats.indexed == 3
+        assert pipeline.app.handle("GET", "/stats").body["n_reports"] == 3

@@ -1,0 +1,130 @@
+"""Tests for the clinical typing schema and validator."""
+
+import pytest
+
+from repro.annotation.model import AnnotationDocument
+from repro.exceptions import SchemaError
+from repro.schema import (
+    DEFAULT_REGISTRY,
+    EntityType,
+    EventType,
+    RelationType,
+    SEMANTIC_RELATIONS,
+    SchemaValidator,
+    TEMPORAL_RELATIONS,
+    is_entity_label,
+    is_event_label,
+    label_kind,
+)
+
+
+class TestLabelInventories:
+    def test_event_and_entity_disjoint(self):
+        events = {member.value for member in EventType}
+        entities = {member.value for member in EntityType}
+        assert not events & entities
+
+    def test_temporal_semantic_partition(self):
+        assert TEMPORAL_RELATIONS | SEMANTIC_RELATIONS == frozenset(RelationType)
+        assert not TEMPORAL_RELATIONS & SEMANTIC_RELATIONS
+
+    def test_label_kind(self):
+        assert label_kind("Sign_symptom") == "event"
+        assert label_kind("Age") == "entity"
+
+    def test_label_kind_unknown(self):
+        with pytest.raises(SchemaError):
+            label_kind("Not_a_label")
+
+    def test_predicates(self):
+        assert is_event_label("Medication")
+        assert not is_event_label("Dosage")
+        assert is_entity_label("Dosage")
+
+
+class TestSchemaRegistry:
+    def test_known_span_label_ok(self):
+        DEFAULT_REGISTRY.check_span_label("Disease_disorder")
+
+    def test_unknown_span_label_raises(self):
+        with pytest.raises(SchemaError):
+            DEFAULT_REGISTRY.check_span_label("Frobnication")
+
+    def test_before_between_events_ok(self):
+        DEFAULT_REGISTRY.check_relation(
+            "BEFORE", "Sign_symptom", "Medication"
+        )
+
+    def test_before_from_history_entity_ok(self):
+        # The paper's Figure 5 orders a History entity before events.
+        DEFAULT_REGISTRY.check_relation("BEFORE", "History", "Sign_symptom")
+
+    def test_modify_entity_to_event_ok(self):
+        DEFAULT_REGISTRY.check_relation("MODIFY", "Severity", "Sign_symptom")
+
+    def test_before_entity_entity_rejected(self):
+        with pytest.raises(SchemaError):
+            DEFAULT_REGISTRY.check_relation("BEFORE", "Age", "Sex")
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DEFAULT_REGISTRY.check_relation(
+                "FROB", "Sign_symptom", "Medication"
+            )
+
+
+def _doc_with_spans():
+    text = "fever then cough"
+    doc = AnnotationDocument(doc_id="d", text=text)
+    t1 = doc.add_textbound("Sign_symptom", 0, 5)
+    t2 = doc.add_textbound("Sign_symptom", 11, 16)
+    return doc, t1, t2
+
+
+class TestSchemaValidator:
+    def test_valid_document_passes(self):
+        doc, t1, t2 = _doc_with_spans()
+        doc.add_relation("BEFORE", t1.ann_id, t2.ann_id)
+        assert SchemaValidator().validate(doc) == []
+
+    def test_unknown_span_label_reported(self):
+        from repro.annotation.model import TextBound
+
+        doc = AnnotationDocument(doc_id="d", text="xxx")
+        doc.textbounds["T1"] = TextBound("T1", "BadLabel", 0, 3, "xxx")
+        issues = SchemaValidator().validate(doc)
+        assert any(issue.code == "unknown-span-label" for issue in issues)
+
+    def test_bad_relation_reported(self):
+        doc = AnnotationDocument(doc_id="d", text="a 45-year-old woman")
+        age = doc.add_textbound("Age", 2, 13)
+        sex = doc.add_textbound("Sex", 14, 19)
+        doc.add_relation("BEFORE", age.ann_id, sex.ann_id)
+        issues = SchemaValidator().validate(doc)
+        assert any(issue.code == "bad-relation" for issue in issues)
+
+    def test_contradictory_temporal_pair_reported(self):
+        doc, t1, t2 = _doc_with_spans()
+        doc.add_relation("BEFORE", t1.ann_id, t2.ann_id)
+        doc.add_relation("OVERLAP", t2.ann_id, t1.ann_id)
+        issues = SchemaValidator().validate(doc)
+        assert any(issue.code == "temporal-conflict" for issue in issues)
+
+    def test_consistent_flipped_pair_ok(self):
+        doc, t1, t2 = _doc_with_spans()
+        doc.add_relation("BEFORE", t1.ann_id, t2.ann_id)
+        doc.add_relation("AFTER", t2.ann_id, t1.ann_id)
+        assert SchemaValidator().validate(doc) == []
+
+    def test_check_raises_on_first_issue(self):
+        doc = AnnotationDocument(doc_id="d", text="a 45-year-old woman")
+        age = doc.add_textbound("Age", 2, 13)
+        sex = doc.add_textbound("Sex", 14, 19)
+        doc.add_relation("BEFORE", age.ann_id, sex.ann_id)
+        with pytest.raises(SchemaError):
+            SchemaValidator().check(doc)
+
+    def test_generated_reports_validate(self, cvd_reports):
+        validator = SchemaValidator()
+        for report in cvd_reports:
+            assert validator.validate(report.annotations) == []

@@ -1,0 +1,114 @@
+"""Tests for highlighting and multi_match."""
+
+import pytest
+
+from repro.exceptions import SearchError
+from repro.search.analysis import STANDARD_ANALYZER_CONFIG, create_analyzer
+from repro.search.engine import SearchEngine, create_ir_engine
+from repro.search.highlight import highlight
+
+ANALYZER = create_analyzer(STANDARD_ANALYZER_CONFIG)
+TEXT = (
+    "The patient presented with fever and persistent cough. "
+    "After three days the fever resolved but the cough continued "
+    "for another two weeks before full recovery."
+)
+
+
+class TestHighlight:
+    def test_terms_wrapped(self):
+        snippets = highlight(ANALYZER, TEXT, "fever")
+        assert snippets
+        assert "<em>fever</em>" in snippets[0]
+
+    def test_stemmed_variants_matched(self):
+        snippets = highlight(ANALYZER, TEXT, "fevers")
+        assert any("<em>fever</em>" in s for s in snippets)
+
+    def test_multiple_terms(self):
+        snippets = highlight(ANALYZER, TEXT, "fever cough")
+        joined = " ".join(snippets)
+        assert "<em>fever</em>" in joined
+        assert "<em>cough</em>" in joined
+
+    def test_no_match_no_snippets(self):
+        assert highlight(ANALYZER, TEXT, "zygomatic") == []
+
+    def test_empty_inputs(self):
+        assert highlight(ANALYZER, "", "fever") == []
+        assert highlight(ANALYZER, TEXT, "") == []
+
+    def test_ellipses_on_clipped_snippets(self):
+        long_text = ("filler " * 50) + "fever " + ("filler " * 50)
+        snippets = highlight(ANALYZER, long_text, "fever", window=20)
+        assert snippets[0].startswith("…")
+        assert snippets[0].endswith("…")
+
+    def test_max_snippets(self):
+        text = ("fever " + "spacer " * 40) * 5
+        snippets = highlight(ANALYZER, text, "fever", window=10, max_snippets=2)
+        assert len(snippets) == 2
+
+    def test_custom_tags(self):
+        snippets = highlight(
+            ANALYZER, TEXT, "fever", pre_tag="[", post_tag="]"
+        )
+        assert "[fever]" in snippets[0]
+
+
+class TestMultiMatch:
+    def _engine(self):
+        engine = SearchEngine(
+            {
+                "title": STANDARD_ANALYZER_CONFIG,
+                "body": STANDARD_ANALYZER_CONFIG,
+            }
+        )
+        engine.index("t", {"title": "fever case", "body": "unrelated text"})
+        engine.index("b", {"title": "something else", "body": "fever fever"})
+        return engine
+
+    def test_searches_all_fields(self):
+        hits = self._engine().search(
+            {"multi_match": {"query": "fever", "fields": ["title", "body"]}}
+        )
+        assert {h.doc_id for h in hits} == {"t", "b"}
+
+    def test_boost_changes_ranking(self):
+        engine = self._engine()
+        boosted = engine.search(
+            {"multi_match": {"query": "fever", "fields": ["title^10", "body"]}}
+        )
+        assert boosted[0].doc_id == "t"
+        unboosted = engine.search(
+            {"multi_match": {"query": "fever", "fields": ["title", "body^10"]}}
+        )
+        assert unboosted[0].doc_id == "b"
+
+    def test_defaults_to_default_field(self):
+        engine = self._engine()
+        hits = engine.search({"multi_match": {"query": "fever"}})
+        assert {h.doc_id for h in hits} == {"b"}
+
+    def test_requires_query(self):
+        with pytest.raises(SearchError):
+            self._engine().search({"multi_match": {"fields": ["body"]}})
+
+    def test_bad_boost_rejected(self):
+        with pytest.raises(SearchError):
+            self._engine().search(
+                {"multi_match": {"query": "x", "fields": ["title^big"]}}
+            )
+
+
+class TestEngineHighlight:
+    def test_highlight_via_engine(self):
+        engine = create_ir_engine()
+        engine.index("d", {"body": TEXT, "title": "Fever case"})
+        snippets = engine.highlight("d", "body", "persistent cough")
+        assert snippets
+        assert "<em>" in snippets[0]
+
+    def test_unknown_doc_empty(self):
+        engine = create_ir_engine()
+        assert engine.highlight("missing", "body", "fever") == []

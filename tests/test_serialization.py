@@ -1,0 +1,127 @@
+"""Tests for model persistence (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.datasets import make_temporal_dataset
+from repro.corpus.generator import CaseReportGenerator
+from repro.exceptions import ModelError
+from repro.ml.embeddings import CharNgramEmbedder
+from repro.ml.serialization import (
+    load_crf,
+    load_embedder,
+    load_extractor,
+    load_ner_tagger,
+    load_temporal_classifier,
+    save_crf,
+    save_embedder,
+    save_extractor,
+    save_ner_tagger,
+    save_temporal_classifier,
+)
+from repro.ner.tagger import NerTagger
+from repro.pipeline import ClinicalExtractor
+from repro.temporal.classifier import TemporalClassifier
+
+
+@pytest.fixture(scope="module")
+def train_docs():
+    generator = CaseReportGenerator(seed=404)
+    return [generator.generate(f"s{i}").annotations for i in range(10)]
+
+
+@pytest.fixture(scope="module")
+def trained_tagger(train_docs):
+    return NerTagger(decoder="crf", epochs=2).fit(train_docs)
+
+
+class TestCrfRoundtrip:
+    def test_predictions_identical(self, trained_tagger, train_docs, tmp_path):
+        save_crf(trained_tagger._model, tmp_path)
+        reloaded = load_crf(tmp_path)
+        feats = trained_tagger._featurize(
+            trained_tagger._sentences(train_docs[0].text)[1]
+        )
+        assert reloaded.predict(feats) == trained_tagger._model.predict(feats)
+
+    def test_unfitted_rejected(self, tmp_path):
+        from repro.ml.crf import LinearChainCRF
+
+        with pytest.raises(ModelError):
+            save_crf(LinearChainCRF(), tmp_path)
+
+    def test_missing_files_rejected(self, tmp_path):
+        with pytest.raises(ModelError):
+            load_crf(tmp_path / "empty")
+
+
+class TestEmbedderRoundtrip:
+    def test_vectors_and_clusters_identical(self, tmp_path):
+        sentences = [["fever", "and", "cough"], ["aspirin", "for", "fever"]] * 5
+        embedder = CharNgramEmbedder(dim=12, n_bits=8, seed=2).fit(sentences)
+        embedder.fit_clusters(ks=(4,))
+        save_embedder(embedder, tmp_path)
+        reloaded = load_embedder(tmp_path)
+        assert np.allclose(
+            reloaded.token_vector("fever"), embedder.token_vector("fever")
+        )
+        assert reloaded.cluster_ids("fever") == embedder.cluster_ids("fever")
+        assert reloaded.sign_features(["cough"]) == embedder.sign_features(
+            ["cough"]
+        )
+
+
+class TestTaggerRoundtrip:
+    def test_predictions_identical(self, trained_tagger, train_docs, tmp_path):
+        save_ner_tagger(trained_tagger, tmp_path)
+        reloaded = load_ner_tagger(tmp_path)
+        text = train_docs[0].text
+        assert reloaded.predict_spans(text) == trained_tagger.predict_spans(text)
+
+    def test_with_embedder(self, train_docs, tmp_path):
+        tagger = NerTagger(
+            decoder="crf", use_context_embeddings=True, epochs=2
+        ).fit(train_docs)
+        save_ner_tagger(tagger, tmp_path)
+        reloaded = load_ner_tagger(tmp_path)
+        text = train_docs[1].text
+        assert reloaded.predict_spans(text) == tagger.predict_spans(text)
+
+    def test_perceptron_decoder_rejected(self, train_docs, tmp_path):
+        tagger = NerTagger(decoder="perceptron", epochs=1).fit(train_docs)
+        with pytest.raises(ModelError):
+            save_ner_tagger(tagger, tmp_path)
+
+
+class TestTemporalRoundtrip:
+    def test_probabilities_identical(self, tmp_path):
+        ds = make_temporal_dataset("i2b2-2012-like", n_train=8, n_test=3, seed=5)
+        classifier = TemporalClassifier(epochs=4).fit(ds.train)
+        save_temporal_classifier(classifier, tmp_path)
+        reloaded = load_temporal_classifier(tmp_path)
+        assert reloaded.labels == classifier.labels
+        assert np.allclose(
+            reloaded.predict_proba_doc(ds.test[0]),
+            classifier.predict_proba_doc(ds.test[0]),
+        )
+
+
+class TestExtractorRoundtrip:
+    def test_full_stack(self, tmp_path):
+        generator = CaseReportGenerator(seed=505)
+        reports = [generator.generate(f"e{i}") for i in range(10)]
+        extractor = ClinicalExtractor.train(reports, temporal_epochs=4, ner_epochs=2)
+        save_extractor(extractor, tmp_path)
+        reloaded = load_extractor(tmp_path)
+
+        new_text = generator.generate("fresh").text
+        original = extractor.extract("fresh", new_text)
+        recovered = reloaded.extract("fresh", new_text)
+        assert {
+            (tb.start, tb.end, tb.label)
+            for tb in original.textbounds.values()
+        } == {
+            (tb.start, tb.end, tb.label)
+            for tb in recovered.textbounds.values()
+        }
+        assert len(original.relations) == len(recovered.relations)

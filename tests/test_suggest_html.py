@@ -1,0 +1,146 @@
+"""Tests for query suggestion and the HTML report view."""
+
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.ontology.concepts import build_default_ontology
+from repro.search.suggest import QuerySuggester
+from repro.viz.report_html import render_report_html
+
+
+class TestQuerySuggester:
+    def _suggester(self):
+        suggester = QuerySuggester()
+        suggester.add_term("chest pain", weight=5)
+        suggester.add_term("chest tightness", weight=2)
+        suggester.add_term("cough", weight=3)
+        suggester.add_term("amiodarone", weight=1)
+        return suggester
+
+    def test_prefix_completion(self):
+        hits = self._suggester().suggest("ches")
+        assert [h.text for h in hits] == ["chest pain", "chest tightness"]
+
+    def test_weight_ordering(self):
+        hits = self._suggester().suggest("c")
+        assert hits[0].text == "chest pain"
+
+    def test_word_internal_prefix(self):
+        hits = self._suggester().suggest("pain")
+        assert [h.text for h in hits] == ["chest pain"]
+
+    def test_limit(self):
+        assert len(self._suggester().suggest("c", limit=1)) == 1
+
+    def test_empty_prefix(self):
+        assert self._suggester().suggest("") == []
+
+    def test_case_insensitive(self):
+        assert self._suggester().suggest("CHEST")
+
+    def test_reinforcement_accumulates(self):
+        suggester = QuerySuggester()
+        suggester.add_term("fever", weight=1)
+        suggester.add_term("Fever", weight=2)
+        assert suggester.suggest("fev")[0].weight == 3
+        assert len(suggester) == 1
+
+    def test_ontology_source(self):
+        suggester = QuerySuggester()
+        suggester.add_from_ontology(build_default_ontology())
+        hits = suggester.suggest("dysp")
+        assert any(h.text == "dyspnea" for h in hits)
+        assert all(h.source == "ontology" for h in hits)
+
+    def test_graph_source(self, cvd_reports):
+        from repro.ir.indexer import CreateIrIndexer
+
+        indexer = CreateIrIndexer()
+        report = cvd_reports[0]
+        indexer.index_annotation_document(
+            report.report_id, report.title, report.annotations
+        )
+        suggester = QuerySuggester()
+        assert suggester.add_from_graph(indexer.graph) > 0
+
+
+class TestReportHtml:
+    def test_valid_xhtml(self, one_report):
+        html = render_report_html(
+            one_report.annotations, title=one_report.title
+        )
+        body = html.split("?>", 1)[1]
+        root = ElementTree.fromstring(body)
+        assert root.tag.endswith("html")
+
+    def test_entities_marked(self, one_report):
+        html = render_report_html(one_report.annotations)
+        assert html.count("<mark") == len(
+            one_report.annotations.textbounds
+        )
+        first = one_report.annotations.spans_sorted()[0]
+        assert first.text in html
+
+    def test_metadata_rendered(self, one_report):
+        html = render_report_html(
+            one_report.annotations,
+            title=one_report.title,
+            metadata={"authors": one_report.authors},
+        )
+        assert one_report.authors[0] in html
+
+    def test_relations_table(self, one_report):
+        html = render_report_html(one_report.annotations)
+        assert "<table>" in html
+        assert html.count("<tr>") >= len(one_report.annotations.relations)
+
+    def test_negated_mention_styled(self):
+        from repro.corpus.generator import CaseReportGenerator, GeneratorConfig
+
+        generator = CaseReportGenerator(
+            seed=7, config=GeneratorConfig(negated_finding_prob=1.0)
+        )
+        report = generator.generate("neg")
+        html = render_report_html(report.annotations)
+        assert 'class="negated"' in html
+
+    def test_escaping(self):
+        from repro.annotation.model import AnnotationDocument
+
+        doc = AnnotationDocument(doc_id="d", text="a <b> & c fever end")
+        doc.add_textbound("Sign_symptom", 10, 15)
+        html = render_report_html(doc, title="T<script>")
+        body = html.split("?>", 1)[1]
+        ElementTree.fromstring(body)  # must stay well-formed
+
+
+class TestApiEndpoints:
+    def test_html_endpoint(self, demo_system):
+        pipeline, _ = demo_system
+        doc_id = pipeline.store.collection("reports").find({}, limit=1)[0][
+            "_id"
+        ]
+        response = pipeline.app.handle("GET", f"/reports/{doc_id}/html")
+        assert response.ok
+        assert "<mark" in response.body
+
+    def test_suggest_endpoint(self, demo_system):
+        pipeline, reports = demo_system
+        symptom = reports[0].annotations.spans_with_label("Sign_symptom")[0]
+        prefix = symptom.text[:4]
+        response = pipeline.app.handle(
+            "GET", "/suggest", params={"q": prefix}
+        )
+        assert response.ok
+        suggestions = response.body["suggestions"]
+        assert suggestions
+        assert any(
+            s["text"].startswith(prefix.lower())
+            or any(w.startswith(prefix.lower()) for w in s["text"].split())
+            for s in suggestions
+        )
+
+    def test_suggest_requires_prefix(self, demo_system):
+        pipeline, _ = demo_system
+        assert pipeline.app.handle("GET", "/suggest").status == 400

@@ -1,0 +1,72 @@
+"""Tests for n-gram utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.ngrams import character_ngrams, shingle, word_ngrams
+
+
+class TestCharacterNgrams:
+    def test_basic_trigram(self):
+        grams = [g for g, _s, _e in character_ngrams("abcd", 3, 3)]
+        assert grams == ["abc", "bcd"]
+
+    def test_growing_grams(self):
+        grams = [g for g, _s, _e in character_ngrams("abcd", 2, 3)]
+        assert grams == ["ab", "abc", "bc", "bcd", "cd"]
+
+    def test_offsets_index_source(self):
+        text = "amiodarone"
+        for gram, start, end in character_ngrams(text, 3, 6):
+            assert text[start:end] == gram
+
+    def test_short_text_yields_nothing(self):
+        assert list(character_ngrams("ab", 3, 5)) == []
+
+    def test_exact_length(self):
+        grams = [g for g, _s, _e in character_ngrams("abc", 3, 5)]
+        assert grams == ["abc"]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            list(character_ngrams("abc", 0, 2))
+        with pytest.raises(ValueError):
+            list(character_ngrams("abc", 3, 2))
+
+    @given(st.text(min_size=0, max_size=40), st.integers(1, 5), st.integers(0, 5))
+    def test_gram_lengths_within_bounds(self, text, min_gram, extra):
+        max_gram = min_gram + extra
+        for gram, start, end in character_ngrams(text, min_gram, max_gram):
+            assert min_gram <= len(gram) <= max_gram
+            assert end - start == len(gram)
+
+    @given(st.text(min_size=3, max_size=30))
+    def test_count_formula_for_fixed_n(self, text):
+        grams = list(character_ngrams(text, 3, 3))
+        assert len(grams) == max(len(text) - 2, 0)
+
+
+class TestWordNgrams:
+    def test_bigrams(self):
+        assert word_ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_n_equal_len(self):
+        assert word_ngrams(["a", "b"], 2) == [("a", "b")]
+
+    def test_n_too_large(self):
+        assert word_ngrams(["a"], 2) == []
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            word_ngrams(["a"], 0)
+
+
+class TestShingle:
+    def test_shingles_multiword_terms(self):
+        result = shingle(["atrial", "fibrillation"], 1, 2)
+        assert "atrial fibrillation" in result
+        assert "atrial" in result
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            shingle(["a"], 2, 1)

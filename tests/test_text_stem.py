@@ -1,0 +1,91 @@
+"""Tests for the Porter stemmer."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.stem import PorterStemmer, stem
+
+
+class TestPorterStemmer:
+    def test_classic_examples(self):
+        cases = {
+            "caresses": "caress",
+            "ponies": "poni",
+            "caress": "caress",
+            "cats": "cat",
+            "feed": "feed",
+            "agreed": "agre",  # step1b yields "agree", step5a drops the e
+            "plastered": "plaster",
+            "motoring": "motor",
+            "sing": "sing",
+            "conflated": "conflat",
+            "troubled": "troubl",
+            "sized": "size",
+            "hopping": "hop",
+            "falling": "fall",
+            "hissing": "hiss",
+            "happy": "happi",
+            "relational": "relat",
+            "conditional": "condit",
+            "valenci": "valenc",
+            "digitizer": "digit",
+            "operator": "oper",
+            "feudalism": "feudal",
+            "decisiveness": "decis",
+            "hopefulness": "hope",
+            "formaliti": "formal",
+            "triplicate": "triplic",
+            "formative": "form",
+            "formalize": "formal",
+            "electriciti": "electr",
+            "electrical": "electr",
+            "hopeful": "hope",
+            "goodness": "good",
+            "revival": "reviv",
+            "allowance": "allow",
+            "inference": "infer",
+            "airliner": "airlin",
+            "adjustable": "adjust",
+            "defensible": "defens",
+            "irritant": "irrit",
+            "replacement": "replac",
+            "adjustment": "adjust",
+            "dependent": "depend",
+            "adoption": "adopt",
+            "communism": "commun",
+            "activate": "activ",
+            "homologous": "homolog",
+            "effective": "effect",
+            "bowdlerize": "bowdler",
+            "probate": "probat",
+            "rate": "rate",
+            "cease": "ceas",
+            "controll": "control",
+            "roll": "roll",
+        }
+        stemmer = PorterStemmer()
+        for word, expected in cases.items():
+            assert stemmer.stem(word) == expected, word
+
+    def test_clinical_conflation(self):
+        # Morphological variants of clinical terms share a stem.
+        assert stem("palpitations") == stem("palpitation")
+        assert stem("fevers") == stem("fever")
+        assert stem("infections") == stem("infection")
+
+    def test_short_words_untouched(self):
+        assert stem("be") == "be"
+        assert stem("at") == "at"
+
+    def test_module_function_lowercases(self):
+        assert stem("Running") == "run"
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=25))
+    def test_stem_never_longer_than_word(self, word):
+        assert len(PorterStemmer().stem(word)) <= max(len(word), 2)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=3, max_size=25))
+    def test_stem_idempotent_on_plural_s(self, word):
+        # Stemming the plural equals stemming the singular for regular
+        # non-s-final nouns.
+        if not word.endswith("s") and not word.endswith("e"):
+            assert PorterStemmer().stem(word + "s") == PorterStemmer().stem(word)

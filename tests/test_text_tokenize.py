@@ -1,0 +1,117 @@
+"""Tests for repro.text.tokenize."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.tokenize import (
+    SentenceSplitter,
+    Token,
+    WordTokenizer,
+    split_sentences,
+    tokenize,
+)
+
+
+class TestWordTokenizer:
+    def test_simple_words(self):
+        tokens = tokenize("the patient had fever")
+        assert [t.text for t in tokens] == ["the", "patient", "had", "fever"]
+
+    def test_offsets_reconstruct_source(self):
+        text = "BP was 120/80, HR 72."
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_numbers_with_units(self):
+        tokens = tokenize("gave 50mg aspirin")
+        assert "50mg" in [t.text for t in tokens]
+
+    def test_decimal_and_thousands(self):
+        tokens = [t.text for t in tokenize("troponin 3.5 and WBC 12,000")]
+        assert "3.5" in tokens
+        assert "12,000" in tokens
+
+    def test_hyphenated_compound_kept_whole(self):
+        tokens = [t.text for t in tokenize("a beta-blocker was started")]
+        assert "beta-blocker" in tokens
+
+    def test_punctuation_as_single_tokens(self):
+        tokens = [t.text for t in tokenize("fever, cough!")]
+        assert "," in tokens
+        assert "!" in tokens
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t ") == []
+
+    def test_token_length(self):
+        token = Token("abc", 5, 8)
+        assert len(token) == 3
+
+    def test_token_overlaps(self):
+        token = Token("abc", 5, 8)
+        assert token.overlaps(7, 10)
+        assert token.overlaps(0, 6)
+        assert not token.overlaps(8, 10)
+        assert not token.overlaps(0, 5)
+
+    @given(st.text(max_size=200))
+    def test_offsets_always_consistent(self, text):
+        for token in WordTokenizer().tokenize(text):
+            assert text[token.start : token.end] == token.text
+            assert token.start < token.end
+
+    @given(st.text(max_size=200))
+    def test_tokens_never_overlap_each_other(self, text):
+        tokens = WordTokenizer().tokenize(text)
+        for a, b in zip(tokens, tokens[1:]):
+            assert a.end <= b.start
+
+
+class TestSentenceSplitter:
+    def test_two_sentences(self):
+        spans = split_sentences("He was admitted. He recovered.")
+        assert len(spans) == 2
+
+    def test_abbreviation_not_split(self):
+        spans = split_sentences("Dr. Smith saw the patient. All was well.")
+        assert len(spans) == 2
+
+    def test_initials_not_split(self):
+        spans = split_sentences("J. Smith and K. Jones wrote this. Done.")
+        assert len(spans) == 2
+
+    def test_question_and_exclamation(self):
+        spans = split_sentences("Was it severe? Yes! Truly.")
+        assert len(spans) == 3
+
+    def test_spans_trimmed(self):
+        text = "First sentence.   Second one."
+        spans = SentenceSplitter().split(text)
+        for start, end in spans:
+            assert not text[start].isspace()
+            assert not text[end - 1].isspace()
+
+    def test_split_texts(self):
+        texts = SentenceSplitter().split_texts("A b. C d.")
+        assert texts == ["A b.", "C d."]
+
+    def test_empty(self):
+        assert split_sentences("") == []
+
+    def test_no_terminal_punctuation(self):
+        spans = split_sentences("no punctuation here")
+        assert len(spans) == 1
+
+    def test_clinical_dosing_abbreviations(self):
+        spans = split_sentences("Aspirin 81 mg p.o. daily was given. Fine.")
+        assert len(spans) == 2
+
+    @given(st.text(max_size=300))
+    def test_spans_are_ordered_and_disjoint(self, text):
+        spans = SentenceSplitter().split(text)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        for start, end in spans:
+            assert 0 <= start < end <= len(text)

@@ -1,0 +1,63 @@
+"""Tests for the Vocabulary mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.vocab import Vocabulary
+
+
+class TestVocabulary:
+    def test_ids_dense_in_insertion_order(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert vocab.add("a") == 0
+
+    def test_unk_fallback(self):
+        vocab = Vocabulary(unk="<unk>")
+        vocab.add("fever")
+        assert vocab["unseen"] == vocab["<unk>"]
+
+    def test_keyerror_without_unk(self):
+        vocab = Vocabulary()
+        with pytest.raises(KeyError):
+            vocab["missing"]
+
+    def test_inverse_lookup(self):
+        vocab = Vocabulary()
+        idx = vocab.add("cough")
+        assert vocab.token(idx) == "cough"
+
+    def test_contains_and_len(self):
+        vocab = Vocabulary()
+        vocab.update(["a", "b", "a"])
+        assert "a" in vocab
+        assert len(vocab) == 2
+
+    def test_freeze_lookup_does_not_mutate(self):
+        vocab = Vocabulary()
+        assert vocab.freeze_lookup("new") is None
+        assert len(vocab) == 0
+
+    def test_roundtrip_serialization(self):
+        vocab = Vocabulary(unk="<unk>")
+        vocab.update(["x", "y", "z"])
+        rebuilt = Vocabulary.from_dict(vocab.to_dict(), unk="<unk>")
+        assert rebuilt.to_dict() == vocab.to_dict()
+        assert rebuilt["nope"] == vocab["<unk>"]
+
+    def test_from_dict_rejects_gaps(self):
+        with pytest.raises(ValueError):
+            Vocabulary.from_dict({"a": 0, "b": 2})
+
+    def test_from_dict_rejects_missing_unk(self):
+        with pytest.raises(ValueError):
+            Vocabulary.from_dict({"a": 0}, unk="<unk>")
+
+    @given(st.lists(st.text(max_size=8), max_size=40))
+    def test_roundtrip_property(self, tokens):
+        vocab = Vocabulary()
+        vocab.update(tokens)
+        rebuilt = Vocabulary.from_dict(vocab.to_dict())
+        for token in tokens:
+            assert rebuilt[token] == vocab[token]

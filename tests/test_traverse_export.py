@@ -1,0 +1,130 @@
+"""Tests for graph traversal utilities and corpus export formats."""
+
+import pytest
+
+from repro.corpus.export import (
+    export_brat_directory,
+    export_conll,
+    parse_conll,
+    to_conll,
+)
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.traverse import (
+    connected_components,
+    degree_stats,
+    shortest_path,
+)
+
+
+def chain_graph():
+    g = PropertyGraph()
+    for node in "abcdef":
+        g.add_node(node)
+    g.add_edge("a", "b", "R")
+    g.add_edge("b", "c", "R")
+    g.add_edge("c", "d", "S")
+    g.add_edge("e", "f", "R")  # separate component
+    return g
+
+
+class TestShortestPath:
+    def test_direct_path(self):
+        assert shortest_path(chain_graph(), "a", "c") == ["a", "b", "c"]
+
+    def test_undirected_by_default(self):
+        assert shortest_path(chain_graph(), "d", "a") == ["d", "c", "b", "a"]
+
+    def test_directed_respects_orientation(self):
+        assert shortest_path(chain_graph(), "d", "a", directed=True) is None
+        assert shortest_path(chain_graph(), "a", "d", directed=True) == [
+            "a", "b", "c", "d",
+        ]
+
+    def test_label_filter(self):
+        # Without the S edge, d is unreachable.
+        assert shortest_path(chain_graph(), "a", "d", label="R") is None
+        assert shortest_path(chain_graph(), "a", "c", label="R") is not None
+
+    def test_same_node(self):
+        assert shortest_path(chain_graph(), "a", "a") == ["a"]
+
+    def test_disconnected(self):
+        assert shortest_path(chain_graph(), "a", "f") is None
+
+    def test_unknown_nodes(self):
+        assert shortest_path(chain_graph(), "a", "zz") is None
+
+
+class TestComponents:
+    def test_component_partition(self):
+        components = connected_components(chain_graph())
+        assert components == [["a", "b", "c", "d"], ["e", "f"]]
+
+    def test_empty_graph(self):
+        assert connected_components(PropertyGraph()) == []
+
+    def test_degree_stats(self):
+        stats = degree_stats(chain_graph())
+        assert stats["n_nodes"] == 6
+        assert stats["n_edges"] == 4
+        assert stats["max_degree"] == 2
+
+    def test_degree_stats_empty(self):
+        assert degree_stats(PropertyGraph())["n_nodes"] == 0
+
+
+class TestBratExport:
+    def test_directory_roundtrip(self, cvd_reports, tmp_path):
+        from repro.annotation.brat import read_document
+
+        docs = [r.annotations for r in cvd_reports[:3]]
+        assert export_brat_directory(docs, tmp_path) == 3
+        for doc in docs:
+            loaded = read_document(tmp_path / f"{doc.doc_id}.txt")
+            assert len(loaded.textbounds) == len(doc.textbounds)
+
+
+class TestConll:
+    def test_to_conll_shape(self, one_report):
+        content = to_conll(one_report.annotations)
+        lines = [l for l in content.splitlines() if l]
+        assert all("\t" in line for line in lines)
+        tags = {line.split("\t")[1] for line in lines}
+        assert "O" in tags
+        assert any(tag.startswith("B-") for tag in tags)
+
+    def test_export_and_parse_roundtrip(self, cvd_reports, tmp_path):
+        docs = [r.annotations for r in cvd_reports[:2]]
+        path = tmp_path / "corpus.conll"
+        assert export_conll(docs, path) == 2
+        sentences = parse_conll(path.read_text())
+        assert sentences
+        # Token streams match the originals.
+        from repro.text.tokenize import split_sentences, tokenize
+
+        expected = []
+        for doc in docs:
+            for start, end in split_sentences(doc.text):
+                expected.append(
+                    [t.text for t in tokenize(doc.text[start:end])]
+                )
+        assert [
+            [token for token, _tag in sentence] for sentence in sentences
+        ] == expected
+
+    def test_tags_consistent_with_gold(self, one_report):
+        content = to_conll(one_report.annotations)
+        sentences = parse_conll(content)
+        gold_surfaces = {
+            tb.text
+            for tb in one_report.annotations.textbounds.values()
+            if " " not in tb.text
+        }
+        tagged = {
+            token
+            for sentence in sentences
+            for token, tag in sentence
+            if tag.startswith("B-")
+        }
+        # Every single-token gold surface appears B-tagged somewhere.
+        assert gold_surfaces & tagged

@@ -1,0 +1,161 @@
+"""Tests for layout and SVG rendering."""
+
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.graphdb.graph import PropertyGraph
+from repro.temporal.graph import TemporalGraph
+from repro.viz.force_layout import ForceLayout, count_edge_crossings
+from repro.viz.svg import GraphStyle, render_graph_svg
+from repro.viz.timeline import render_timeline_svg, timeline_order
+
+
+def star_edges(center, leaves):
+    return [(center, leaf) for leaf in leaves]
+
+
+class TestForceLayout:
+    def test_empty(self):
+        result = ForceLayout().layout([], [])
+        assert result.positions == {}
+
+    def test_single_node_centered(self):
+        result = ForceLayout(width=100, height=100).layout(["a"], [])
+        assert result.positions["a"] == (50.0, 50.0)
+
+    def test_all_nodes_placed_in_canvas(self):
+        nodes = [f"n{i}" for i in range(12)]
+        edges = star_edges("n0", nodes[1:])
+        result = ForceLayout(width=400, height=300).layout(nodes, edges)
+        assert set(result.positions) == set(nodes)
+        for x, y in result.positions.values():
+            assert 0 <= x <= 400
+            assert 0 <= y <= 300
+
+    def test_deterministic(self):
+        nodes = ["a", "b", "c"]
+        edges = [("a", "b")]
+        r1 = ForceLayout(seed=3).layout(nodes, edges)
+        r2 = ForceLayout(seed=3).layout(nodes, edges)
+        assert r1.positions == r2.positions
+
+    def test_connected_closer_than_disconnected(self):
+        import math
+
+        nodes = ["a", "b", "c"]
+        result = ForceLayout(seed=1, iterations=300).layout(
+            nodes, [("a", "b")]
+        )
+        pos = result.positions
+
+        def dist(u, v):
+            return math.dist(pos[u], pos[v])
+
+        assert dist("a", "b") < dist("a", "c") or dist("a", "b") < dist(
+            "b", "c"
+        )
+
+    def test_nodes_repel(self):
+        import math
+
+        result = ForceLayout(seed=2).layout(["a", "b", "c", "d"], [])
+        positions = list(result.positions.values())
+        for i in range(len(positions)):
+            for j in range(i + 1, len(positions)):
+                assert math.dist(positions[i], positions[j]) > 5.0
+
+    def test_crossings_counter(self):
+        positions = {
+            "a": (0.0, 0.0),
+            "b": (10.0, 10.0),
+            "c": (0.0, 10.0),
+            "d": (10.0, 0.0),
+        }
+        assert count_edge_crossings(positions, [("a", "b"), ("c", "d")]) == 1
+        assert count_edge_crossings(positions, [("a", "b"), ("a", "c")]) == 0
+
+
+def clinical_property_graph():
+    g = PropertyGraph()
+    g.add_node("n1", label="fever", entityType="Sign_symptom", doc_id="d")
+    g.add_node("n2", label="cough", entityType="Sign_symptom", doc_id="d")
+    g.add_node("n3", label="aspirin", entityType="Medication", doc_id="d")
+    g.add_edge("n1", "n2", "OVERLAP")
+    g.add_edge("n1", "n3", "BEFORE", inferred=True)
+    return g
+
+
+class TestSvgRenderer:
+    def test_valid_xml(self):
+        svg = render_graph_svg(clinical_property_graph())
+        root = ElementTree.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_node_and_edge_elements_present(self):
+        svg = render_graph_svg(clinical_property_graph())
+        assert svg.count("<circle") == 3
+        assert svg.count("<line") == 2
+        assert "fever" in svg
+        assert "OVERLAP" in svg
+
+    def test_inferred_edges_dashed(self):
+        svg = render_graph_svg(clinical_property_graph())
+        assert "stroke-dasharray" in svg
+
+    def test_node_filter(self):
+        g = clinical_property_graph()
+        g.add_node("other", label="x", entityType="Sign_symptom", doc_id="e")
+        svg = render_graph_svg(
+            g, node_filter=lambda node: node.get("doc_id") == "d"
+        )
+        assert svg.count("<circle") == 3
+
+    def test_type_colors_used(self):
+        svg = render_graph_svg(clinical_property_graph())
+        style = GraphStyle()
+        assert style.type_colors["Sign_symptom"] in svg
+        assert style.type_colors["Medication"] in svg
+
+    def test_labels_escaped(self):
+        g = PropertyGraph()
+        g.add_node("n1", label="a<b>&c", entityType="Sign_symptom")
+        svg = render_graph_svg(g)
+        ElementTree.fromstring(svg)  # must stay parseable
+
+    def test_long_labels_truncated(self):
+        g = PropertyGraph()
+        g.add_node("n1", label="x" * 100, entityType="Sign_symptom")
+        svg = render_graph_svg(g)
+        assert "x" * 100 not in svg
+
+
+class TestTimeline:
+    def _graph(self):
+        graph = TemporalGraph()
+        graph.add("a", "b", "OVERLAP")
+        graph.add("a", "c", "BEFORE")
+        graph.add("b", "c", "BEFORE")
+        graph.add("c", "d", "BEFORE")
+        return graph
+
+    def test_order_groups_overlaps(self):
+        columns = timeline_order(self._graph())
+        assert columns == [["a", "b"], ["c"], ["d"]]
+
+    def test_order_empty(self):
+        assert timeline_order(TemporalGraph()) == []
+
+    def test_svg_renders(self):
+        svg = render_timeline_svg(
+            self._graph(), labels={"a": "fever", "b": "cough"}
+        )
+        root = ElementTree.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert "fever" in svg
+        assert svg.count("<rect") == 4
+
+    def test_column_count_in_svg(self):
+        svg = render_timeline_svg(self._graph())
+        assert "t0" in svg
+        assert "t2" in svg

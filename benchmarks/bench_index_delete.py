@@ -1,0 +1,89 @@
+"""Deletion cost in the inverted index: reverse map vs full scan.
+
+``InvertedIndex.remove_document`` used to scan every postings list in
+the vocabulary (O(total terms) per delete) — ruinous under the paper's
+n-gram analyzer (min_gram=3, max_gram=25), whose vocabulary grows into
+the hundreds of thousands of terms.  The index now keeps a doc-ordinal
+-> terms reverse map so deletion touches only the document's own
+terms.  This benchmark measures both against the same index contents.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_result
+
+from repro.search.analysis import CREATE_IR_ANALYZER_CONFIG, create_analyzer
+from repro.search.inverted_index import InvertedIndex
+
+N_DOCS = 120
+N_DELETES = 40
+BODY_CHARS = 600
+
+
+def _naive_remove(index: InvertedIndex, doc_ord: int) -> None:
+    """The pre-fix algorithm: scan every postings list."""
+    length = index._doc_lengths.pop(doc_ord, None)
+    if length is None:
+        return
+    index._total_length -= length
+    index._doc_terms.pop(doc_ord, None)
+    empty_terms = []
+    for term, postings in index._postings.items():
+        filtered = [p for p in postings if p.doc_ord != doc_ord]
+        if len(filtered) != len(postings):
+            if filtered:
+                index._postings[term] = filtered
+            else:
+                empty_terms.append(term)
+    for term in empty_terms:
+        del index._postings[term]
+
+
+def _build_index(ir_corpus) -> InvertedIndex:
+    analyzer = create_analyzer(CREATE_IR_ANALYZER_CONFIG)
+    index = InvertedIndex()
+    for ordinal, report in enumerate(ir_corpus[:N_DOCS]):
+        index.add_document(
+            ordinal, analyzer.analyze(report.text[:BODY_CHARS])
+        )
+    return index
+
+
+def test_delete_reverse_map_vs_full_scan(ir_corpus):
+    fast = _build_index(ir_corpus)
+    naive = _build_index(ir_corpus)
+    vocabulary = fast.vocabulary_size
+    victims = list(range(0, N_DELETES * 2, 2))
+
+    start = time.perf_counter()
+    for doc_ord in victims:
+        fast.remove_document(doc_ord)
+    fast_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for doc_ord in victims:
+        _naive_remove(naive, doc_ord)
+    naive_elapsed = time.perf_counter() - start
+
+    # Both algorithms leave identical index state behind.
+    assert fast.n_documents == naive.n_documents == N_DOCS - N_DELETES
+    assert fast.terms() == naive.terms()
+    assert fast.average_length == naive.average_length
+
+    speedup = naive_elapsed / max(fast_elapsed, 1e-9)
+    write_result(
+        "bench_index_delete",
+        [
+            f"Inverted-index deletion over {vocabulary} n-gram terms "
+            f"({N_DOCS} docs, {N_DELETES} deletes)",
+            f"{'algorithm':<22}{'total ms':>10}{'ms/delete':>12}",
+            f"{'full vocabulary scan':<22}{naive_elapsed * 1000:>10.1f}"
+            f"{naive_elapsed * 1000 / N_DELETES:>12.2f}",
+            f"{'reverse doc-term map':<22}{fast_elapsed * 1000:>10.1f}"
+            f"{fast_elapsed * 1000 / N_DELETES:>12.2f}",
+            f"speedup: {speedup:.1f}x",
+        ],
+    )
+    assert speedup >= 2.0, f"expected >= 2x, measured {speedup:.1f}x"

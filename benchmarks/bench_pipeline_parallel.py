@@ -1,0 +1,131 @@
+"""Serial vs parallel ingest: throughput and byte-identical indexes.
+
+The staged pipeline overlaps the Grobid service round trip (modeled
+with ``GrobidService(latency=...)`` — the real Grobid is a remote REST
+call taking seconds per PDF) across a worker pool, while the serial
+index/store stage keeps results deterministic.  This benchmark ingests
+the same corpus serially and with 4 workers and checks:
+
+* >= 1.5x ingest throughput at 4 workers, and
+* identical graph/keyword index contents and search results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import write_result
+
+from repro.corpus.pubmed import build_corpus
+from repro.crawler.repository import SyntheticPubMed
+from repro.grobid.service import GrobidService
+from repro.pipeline import CreatePipeline
+
+N_DOCS = int(os.environ.get("BENCH_PIPELINE_DOCS", "200"))
+GROBID_LATENCY = 0.05  # simulated service round trip per document
+WORKERS = 4
+N_QUERIES = 20
+
+
+def _ingest(extractor, reports, workers):
+    site = SyntheticPubMed(reports, seed=7)
+    pipeline = CreatePipeline(
+        extractor=extractor,
+        grobid=GrobidService(latency=GROBID_LATENCY),
+        workers=workers,
+    )
+    start = time.perf_counter()
+    stats = pipeline.ingest_from_site(site)
+    elapsed = time.perf_counter() - start
+    return pipeline, stats, elapsed
+
+
+def _queries(reports):
+    queries = []
+    for report in reports:
+        spans = report.annotations.spans_with_label("Sign_symptom")
+        if spans:
+            queries.append(spans[0].text)
+        if len(queries) >= N_QUERIES:
+            break
+    return queries
+
+
+def _search_fingerprint(pipeline, queries):
+    return [
+        [
+            (result.doc_id, result.engine)
+            for result in pipeline.searcher.search(query, size=10)
+        ]
+        for query in queries
+    ]
+
+
+def test_parallel_ingest_throughput_and_determinism(trained_extractor):
+    reports = build_corpus(N_DOCS, seed=7)
+
+    serial, serial_stats, serial_elapsed = _ingest(
+        trained_extractor, reports, workers=1
+    )
+    parallel, parallel_stats, parallel_elapsed = _ingest(
+        trained_extractor, reports, workers=WORKERS
+    )
+
+    # -- determinism: identical stats and index contents -------------------
+    assert serial_stats.as_dict() == parallel_stats.as_dict()
+    assert serial.indexer.graph.n_nodes == parallel.indexer.graph.n_nodes
+    assert serial.indexer.graph.n_edges == parallel.indexer.graph.n_edges
+    assert (
+        serial.indexer.engine.n_documents
+        == parallel.indexer.engine.n_documents
+    )
+    assert (
+        serial.store.collection("reports").count()
+        == parallel.store.collection("reports").count()
+    )
+    queries = _queries(reports)
+    assert queries
+    assert _search_fingerprint(serial, queries) == _search_fingerprint(
+        parallel, queries
+    )
+
+    # -- throughput --------------------------------------------------------
+    serial_tp = serial_stats.indexed / serial_elapsed
+    parallel_tp = parallel_stats.indexed / parallel_elapsed
+    speedup = parallel_tp / serial_tp
+
+    snapshot = parallel.metrics.snapshot()
+    parse_timer = snapshot["timers"]["pipeline.parse_seconds"]
+    extract_timer = snapshot["timers"]["pipeline.extract_seconds"]
+    index_timer = snapshot["timers"]["pipeline.index_seconds"]
+
+    write_result(
+        "bench_pipeline_parallel",
+        [
+            "Staged pipeline: serial vs parallel ingest "
+            f"({N_DOCS} reports, grobid latency {GROBID_LATENCY * 1000:.0f} ms)",
+            f"{'run':<14}{'workers':>8}{'elapsed s':>12}{'docs/s':>10}",
+            f"{'serial':<14}{1:>8}{serial_elapsed:>12.2f}{serial_tp:>10.2f}",
+            f"{'parallel':<14}{WORKERS:>8}{parallel_elapsed:>12.2f}"
+            f"{parallel_tp:>10.2f}",
+            f"speedup: {speedup:.2f}x "
+            f"(graph nodes {parallel_stats.graph_nodes}, "
+            f"edges {parallel_stats.graph_edges}, "
+            f"indexed {parallel_stats.indexed}, "
+            f"dead letters {len(parallel_stats.dead_letters)})",
+            "stage p50/p99 ms (parallel run): "
+            f"parse {parse_timer['p50'] * 1000:.1f}/"
+            f"{parse_timer['p99'] * 1000:.1f}, "
+            f"extract {extract_timer['p50'] * 1000:.1f}/"
+            f"{extract_timer['p99'] * 1000:.1f}, "
+            f"index {index_timer['p50'] * 1000:.1f}/"
+            f"{index_timer['p99'] * 1000:.1f}",
+        ],
+    )
+
+    assert serial_stats.indexed == N_DOCS
+    assert speedup >= 1.5, (
+        f"parallel ingest only {speedup:.2f}x faster "
+        f"({serial_elapsed:.2f}s -> {parallel_elapsed:.2f}s)"
+    )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.annotation.brat import parse_ann, serialize_ann
 from repro.annotation.model import AnnotationDocument
@@ -34,6 +34,9 @@ from repro.temporal.graph import TemporalGraph
 from repro.temporal.relations import THREE_WAY_ALGEBRA
 from repro.viz.svg import GraphStyle, render_graph_svg
 from repro.viz.timeline import render_timeline_svg
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.metrics import MetricsRegistry
 
 
 @dataclass
@@ -60,6 +63,10 @@ class CreateApplication:
         extractor: optional callable ``(doc_id, text) ->
             AnnotationDocument`` running NER + temporal extraction on
             submissions (submissions index keyword-only when absent).
+        metrics: optional runtime metrics registry; when present,
+            ``/stats`` serves its counter/timer snapshot.
+        runtime_stats: optional callable returning pipeline run
+            counters (dead letters, failures) for ``/stats``.
     """
 
     store: DocumentStore
@@ -68,6 +75,8 @@ class CreateApplication:
     grobid: GrobidService = field(default_factory=GrobidService)
     extractor: Callable[[str, str], AnnotationDocument] | None = None
     validator: SchemaValidator = field(default_factory=SchemaValidator)
+    metrics: "MetricsRegistry | None" = None
+    runtime_stats: Callable[[], dict] | None = None
 
     def __post_init__(self) -> None:
         self._annotations: dict[str, AnnotationDocument] = {}
@@ -307,15 +316,18 @@ class CreateApplication:
             category: reports.count({"category": category})
             for category in reports.distinct("category")
         }
-        return Response(
-            200,
-            {
-                "n_reports": len(reports),
-                "by_category": by_category,
-                "graph_nodes": self.indexer.graph.n_nodes,
-                "graph_edges": self.indexer.graph.n_edges,
-            },
-        )
+        payload = {
+            "n_reports": len(reports),
+            "by_category": by_category,
+            "graph_nodes": self.indexer.graph.n_nodes,
+            "graph_edges": self.indexer.graph.n_edges,
+            "indexer": self.indexer.stats(),
+        }
+        if self.runtime_stats is not None:
+            payload["pipeline"] = self.runtime_stats()
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics.snapshot()
+        return Response(200, payload)
 
     def _get_html(self, body: Any, params: dict, doc_id: str) -> Response:
         from repro.viz.report_html import render_report_html

@@ -7,11 +7,15 @@ content for the parser.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.crawler.frontier import Frontier
 from repro.crawler.repository import Page, SyntheticPubMed
 from repro.exceptions import CrawlError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,6 +40,9 @@ class CrawlStats:
     politeness_waits: float = 0.0
     elapsed: float = 0.0
 
+    def as_dict(self) -> dict:
+        return asdict(self)
+
 
 @dataclass
 class Crawler:
@@ -45,12 +52,15 @@ class Crawler:
         site: the repository to crawl.
         politeness_delay: simulated per-host delay between fetches.
         max_retries: transient-failure retries per URL.
+        metrics: optional registry receiving ``crawler.*`` counters
+            after each run.
     """
 
     site: SyntheticPubMed
     politeness_delay: float = 0.1
     max_retries: int = 2
     stats: CrawlStats = field(default_factory=CrawlStats)
+    metrics: "MetricsRegistry | None" = None
 
     def crawl(
         self, seeds: list[str] | None = None, max_pages: int | None = None
@@ -98,6 +108,18 @@ class Crawler:
             results.extend(self._handle(page, frontier))
 
         self.stats.elapsed = self.site.clock - start_clock
+        if self.metrics is not None:
+            for name in (
+                "fetched",
+                "captured",
+                "listings",
+                "errors",
+                "retries",
+                "robots_skipped",
+            ):
+                self.metrics.increment(
+                    f"crawler.{name}", getattr(self.stats, name)
+                )
         return results
 
     def _handle(self, page: Page, frontier: Frontier) -> list[CrawlResult]:

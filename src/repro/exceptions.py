@@ -56,6 +56,38 @@ class ParseError(ReproError):
     """A publication document (SimPDF / TEI XML) could not be parsed."""
 
 
+class TransientParseError(ParseError):
+    """A retryable parse-service failure (timeouts, overload).
+
+    The real Grobid is a remote service; callers are expected to retry
+    a bounded number of times before dead-lettering the document.
+    """
+
+
+class StageFailure(ReproError):
+    """One document failed in one named pipeline stage.
+
+    Carries everything a dead-letter record needs — the stage, the
+    original error's type name and message, and how many attempts were
+    made — as plain strings so the failure crosses process boundaries.
+    """
+
+    def __init__(
+        self, stage: str, error_type: str, message: str, attempts: int = 1
+    ):
+        super().__init__(f"{stage} failed ({error_type}): {message}")
+        self.stage = stage
+        self.error_type = error_type
+        self.message = message
+        self.attempts = attempts
+
+    def __reduce__(self):
+        return (
+            StageFailure,
+            (self.stage, self.error_type, self.message, self.attempts),
+        )
+
+
 class CrawlError(ReproError):
     """The crawler could not fetch or process a URL."""
 

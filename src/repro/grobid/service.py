@@ -8,9 +8,11 @@ automatic metadata extraction.
 
 from __future__ import annotations
 
+import time
+import zlib
 from dataclasses import dataclass, field
 
-from repro.exceptions import ParseError
+from repro.exceptions import ParseError, TransientParseError
 from repro.grobid.metadata import PublicationMetadata, extract_metadata
 from repro.grobid.sections import SectionSpan, segment_sections
 from repro.grobid.simpdf import parse_simpdf
@@ -36,14 +38,49 @@ class GrobidService:
     Accepts either SimPDF content or TEI XML (the two capture formats
     the paper's crawler encounters: "The contents can be captured in
     XML or online PDFs").
+
+    The real Grobid is a remote REST service; two knobs model that:
+
+    Args:
+        latency: simulated round-trip seconds per :meth:`process` call
+            (a real wall-clock sleep, so concurrent callers overlap it
+            the way concurrent RPCs would).
+        transient_error_rate: fraction of documents whose *first*
+            :meth:`process` call raises :class:`TransientParseError`.
+            The decision is keyed on the content (not call order), so
+            runs are deterministic under any execution schedule, and a
+            retry of the same document succeeds.
+        seed: perturbs which documents draw the transient failure.
     """
+
+    def __init__(
+        self,
+        latency: float = 0.0,
+        transient_error_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        self.latency = latency
+        self.transient_error_rate = transient_error_rate
+        self.seed = seed
+        self._attempted: set[int] = set()
 
     def process(self, content: str) -> ParsedPublication:
         """Dispatch on content type and parse.
 
         Raises:
+            TransientParseError: injected retryable service failure.
             ParseError: the content is neither SimPDF nor TEI XML.
         """
+        if self.latency > 0.0:
+            time.sleep(self.latency)
+        if self.transient_error_rate > 0.0:
+            key = zlib.crc32(content.encode("utf-8")) ^ (self.seed * 2654435761)
+            if key not in self._attempted:
+                self._attempted.add(key)
+                if (key % 10_000) < self.transient_error_rate * 10_000:
+                    raise TransientParseError(
+                        "simulated transient Grobid failure"
+                    )
         stripped = content.lstrip()
         if stripped.startswith("%SimPDF"):
             return self.process_pdf(content)

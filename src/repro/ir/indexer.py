@@ -32,6 +32,8 @@ class IndexedReport:
     n_nodes: int
     n_explicit_edges: int
     n_inferred_edges: int
+    contradiction_skips: int = 0
+    closure_failed: bool = False
 
 
 def _is_temporal(label: str) -> bool:
@@ -72,6 +74,11 @@ class CreateIrIndexer:
         self.graph.create_property_index("doc_id")
         self.graph.create_property_index("conceptId")
         self._indexed: dict[str, IndexedReport] = {}
+        # Degraded-indexing visibility: how many contradictory edges
+        # were skipped and how many reports lost their transitive
+        # closure entirely.  Surfaced through /stats and PipelineStats.
+        self.contradiction_skips = 0
+        self.closure_failures = 0
 
     # -- indexing -----------------------------------------------------------
 
@@ -135,6 +142,7 @@ class CreateIrIndexer:
         # as BEFORE(b, a), so graph search only ever needs to look for
         # BEFORE and OVERLAP edge labels.
         explicit = 0
+        contradiction_skips = 0
         temporal_graph = TemporalGraph(algebra=THREE_WAY_ALGEBRA)
         for source, target, label in relations:
             src_node = f"{doc_id}:{source}"
@@ -151,14 +159,19 @@ class CreateIrIndexer:
                 except TemporalInconsistencyError:
                     # Extraction noise can contradict itself; keep the
                     # first-seen edge and skip the contradiction.
-                    pass
+                    contradiction_skips += 1
+        self.contradiction_skips += contradiction_skips
 
         inferred = 0
+        closure_failed = False
         if self.close_temporal:
             try:
                 temporal_graph.close()
             except TemporalInconsistencyError:
-                pass  # partial closure is still useful
+                # Partial closure is still useful, but degraded temporal
+                # search must be visible, not silent.
+                closure_failed = True
+                self.closure_failures += 1
             else:
                 existing = {
                     (edge.source, edge.target)
@@ -176,7 +189,14 @@ class CreateIrIndexer:
                     self.graph.add_edge(source, target, label, inferred=True)
                     inferred += 1
 
-        record = IndexedReport(doc_id, len(node_ids), explicit, inferred)
+        record = IndexedReport(
+            doc_id,
+            len(node_ids),
+            explicit,
+            inferred,
+            contradiction_skips=contradiction_skips,
+            closure_failed=closure_failed,
+        )
         self._indexed[doc_id] = record
         return record
 
@@ -213,6 +233,14 @@ class CreateIrIndexer:
     @property
     def n_reports(self) -> int:
         return len(self._indexed)
+
+    def stats(self) -> dict:
+        """Aggregate indexing health counters (for ``/stats``)."""
+        return {
+            "n_reports": self.n_reports,
+            "contradiction_skips": self.contradiction_skips,
+            "closure_failures": self.closure_failures,
+        }
 
     def report_stats(self, doc_id: str) -> IndexedReport | None:
         """Per-report indexing record (None when never indexed)."""

@@ -13,7 +13,9 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.graphdb.match import (
     EdgePattern,
@@ -24,6 +26,9 @@ from repro.ir.indexer import CreateIrIndexer
 from repro.ir.query_parser import ParsedQuery, QueryParser
 from repro.ir.ranking import fuse_results, label_similarity, labels_match
 from repro.schema.types import is_event_label
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,15 +64,18 @@ class CreateIrSearcher:
         indexer: CreateIrIndexer,
         parser: QueryParser | None = None,
         relation_bonus: float = 1.0,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self._indexer = indexer
         self._parser = parser
         self.relation_bonus = relation_bonus
+        self.metrics = metrics
 
     # -- public API ----------------------------------------------------------
 
     def search(self, query, size: int = 10) -> list[SearchResult]:
         """Search with a raw string (parsed) or a :class:`ParsedQuery`."""
+        start = time.perf_counter()
         if isinstance(query, str):
             if self._parser is None:
                 parsed = ParsedQuery(text=query)
@@ -75,22 +83,40 @@ class CreateIrSearcher:
                 parsed = self._parser.parse(query)
         else:
             parsed = query
+        parse_done = time.perf_counter()
         graph_ranked = [
             (detail.doc_id, detail.score)
             for detail in self.graph_search(parsed)
         ]
+        graph_done = time.perf_counter()
         keyword_ranked = [
             (hit.doc_id, hit.score)
             for hit in self._indexer.engine.search(
                 {"match": {"body": parsed.keyword_text()}}, size=size * 3
             )
         ]
-        return [
+        results = [
             SearchResult(doc_id, score, engine)
             for doc_id, score, engine in fuse_results(
                 graph_ranked, keyword_ranked, size
             )
         ]
+        if self.metrics is not None:
+            self.metrics.increment("ir.searches")
+            self.metrics.increment("ir.graph_candidates", len(graph_ranked))
+            self.metrics.increment(
+                "ir.keyword_candidates", len(keyword_ranked)
+            )
+            self.metrics.record(
+                "ir.query_parse_seconds", parse_done - start
+            )
+            self.metrics.record(
+                "ir.graph_search_seconds", graph_done - parse_done
+            )
+            self.metrics.record(
+                "ir.search_seconds", time.perf_counter() - start
+            )
+        return results
 
     def keyword_only(self, query_text: str, size: int = 10) -> list[SearchResult]:
         """Ablation: skip the graph engine entirely."""

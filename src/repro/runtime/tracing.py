@@ -1,0 +1,103 @@
+"""Lightweight span tracing for pipeline and query paths.
+
+A :class:`SpanTracer` records named, nested spans (ingest -> crawl /
+parse+extract / index) with wall-clock timings and free-form
+attributes.  Spans nest per thread; finished spans accumulate on the
+tracer and export as plain dicts for logs or the ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One timed operation."""
+
+    span_id: int
+    name: str
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "duration": round(self.duration, 6),
+            "attributes": dict(self.attributes),
+        }
+
+
+class SpanTracer:
+    """Collects nested spans; cheap enough to leave on in production.
+
+    Args:
+        max_spans: finished spans retained (oldest dropped beyond it),
+            bounding memory on long-running services.
+    """
+
+    def __init__(self, max_spans: int = 10_000):
+        self.max_spans = max_spans
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._stack = threading.local()
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a span; nested calls on the same thread become children."""
+        stack = self._thread_stack()
+        parent_id = stack[-1].span_id if stack else None
+        record = Span(
+            span_id=next(self._ids),
+            name=name,
+            parent_id=parent_id,
+            start=time.perf_counter(),
+            attributes=dict(attributes),
+        )
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            record.end = time.perf_counter()
+            stack.pop()
+            with self._lock:
+                self._finished.append(record)
+                if len(self._finished) > self.max_spans:
+                    del self._finished[: -self.max_spans]
+
+    def finished(self, name: str | None = None) -> list[Span]:
+        """Completed spans, optionally filtered by name."""
+        with self._lock:
+            spans = list(self._finished)
+        if name is not None:
+            spans = [span for span in spans if span.name == name]
+        return spans
+
+    def export(self) -> list[dict]:
+        """Every finished span as a JSON-shaped dict."""
+        return [span.as_dict() for span in self.finished()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def _thread_stack(self) -> list[Span]:
+        stack = getattr(self._stack, "value", None)
+        if stack is None:
+            stack = self._stack.value = []
+        return stack

@@ -11,10 +11,14 @@ Supported queries (dispatch on the single top-level key):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.exceptions import SearchError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.metrics import MetricsRegistry
 from repro.search.analysis import (
     Analyzer,
     CREATE_IR_ANALYZER_CONFIG,
@@ -53,8 +57,10 @@ class SearchEngine:
         self,
         field_analyzers: dict[str, dict] | None = None,
         default_field: str = "body",
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.default_field = default_field
+        self.metrics = metrics
         self._analyzer_configs = dict(field_analyzers or {})
         self._analyzers: dict[str, Analyzer] = {}
         self._indexes: dict[str, InvertedIndex] = {}
@@ -105,6 +111,7 @@ class SearchEngine:
 
         A plain string is sugar for ``{"match": {default_field: s}}``.
         """
+        start = time.perf_counter()
         if isinstance(query, str):
             query = {"match": {self.default_field: query}}
         scores = self._execute(query)
@@ -114,10 +121,17 @@ class SearchEngine:
             if ordinal in self._ids_by_ordinal
         ]
         by_doc_id.sort(key=lambda item: (-item[1], str(item[0])))
-        return [
+        hits = [
             ScoredHit(doc_id, score, self._sources[doc_id])
             for doc_id, score in by_doc_id[:size]
         ]
+        if self.metrics is not None:
+            self.metrics.increment("engine.searches")
+            self.metrics.increment("engine.hits", len(hits))
+            self.metrics.record(
+                "engine.search_seconds", time.perf_counter() - start
+            )
+        return hits
 
     def explain_terms(self, field: str, text: str) -> list[str]:
         """The analyzed terms a query against ``field`` would use."""

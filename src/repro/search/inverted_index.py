@@ -31,6 +31,10 @@ class InvertedIndex:
     def __init__(self):
         self._postings: dict[str, list[Posting]] = {}
         self._doc_lengths: dict[int, int] = {}
+        # Reverse map doc ordinal -> its terms, so deletion touches only
+        # the document's own postings lists instead of the whole
+        # vocabulary (O(doc terms) vs O(total terms) per delete).
+        self._doc_terms: dict[int, tuple[str, ...]] = {}
         self._total_length = 0
 
     # -- mutation ----------------------------------------------------------
@@ -51,6 +55,7 @@ class InvertedIndex:
             self._postings.setdefault(term, []).append(
                 Posting(doc_ord, sorted(positions))
             )
+        self._doc_terms[doc_ord] = tuple(per_term)
         length = len(tokens)
         self._doc_lengths[doc_ord] = length
         self._total_length += length
@@ -61,16 +66,15 @@ class InvertedIndex:
         if length is None:
             return
         self._total_length -= length
-        empty_terms = []
-        for term, postings in self._postings.items():
+        for term in self._doc_terms.pop(doc_ord, ()):
+            postings = self._postings.get(term)
+            if postings is None:
+                continue
             filtered = [p for p in postings if p.doc_ord != doc_ord]
-            if len(filtered) != len(postings):
-                if filtered:
-                    self._postings[term] = filtered
-                else:
-                    empty_terms.append(term)
-        for term in empty_terms:
-            del self._postings[term]
+            if filtered:
+                self._postings[term] = filtered
+            else:
+                del self._postings[term]
 
     # -- access -------------------------------------------------------------
 

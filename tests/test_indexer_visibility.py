@@ -1,0 +1,87 @@
+"""Degraded temporal indexing is counted, not silently dropped."""
+
+from repro.exceptions import TemporalInconsistencyError
+from repro.ir.indexer import CreateIrIndexer
+from repro.temporal.graph import TemporalGraph
+
+_SPANS = [
+    ("T1", "fever", "Sign_symptom", "event"),
+    ("T2", "aspirin", "Medication", "event"),
+    ("T3", "discharge", "Clinical_event", "event"),
+]
+
+
+class TestContradictionSkips:
+    def test_contradictory_edges_counted(self):
+        indexer = CreateIrIndexer()
+        # BEFORE(T1,T2) then AFTER(T1,T2): normalized to BEFORE(T2,T1),
+        # contradicting the stored pair label.
+        record = indexer.index_report(
+            "doc-1",
+            "t",
+            "fever treated with aspirin",
+            _SPANS,
+            [("T1", "T2", "BEFORE"), ("T1", "T2", "AFTER")],
+        )
+        assert record.contradiction_skips == 1
+        assert indexer.contradiction_skips == 1
+        assert indexer.stats()["contradiction_skips"] == 1
+
+    def test_clean_report_counts_nothing(self):
+        indexer = CreateIrIndexer()
+        record = indexer.index_report(
+            "doc-1",
+            "t",
+            "fever treated with aspirin",
+            _SPANS,
+            [("T1", "T2", "BEFORE"), ("T2", "T3", "BEFORE")],
+        )
+        assert record.contradiction_skips == 0
+        assert not record.closure_failed
+        assert indexer.stats() == {
+            "n_reports": 1,
+            "contradiction_skips": 0,
+            "closure_failures": 0,
+        }
+
+
+class TestClosureFailures:
+    def test_closure_failure_counted(self, monkeypatch):
+        indexer = CreateIrIndexer()
+
+        def exploding_close(self, max_rounds=50):
+            raise TemporalInconsistencyError("synthetic closure failure")
+
+        monkeypatch.setattr(TemporalGraph, "close", exploding_close)
+        record = indexer.index_report(
+            "doc-1",
+            "t",
+            "fever treated with aspirin",
+            _SPANS,
+            [("T1", "T2", "BEFORE")],
+        )
+        assert record.closure_failed
+        assert record.n_inferred_edges == 0
+        assert indexer.closure_failures == 1
+        # the explicit edge is still indexed: partial is useful, visible
+        assert record.n_explicit_edges == 1
+
+    def test_accumulates_across_reports(self, monkeypatch):
+        indexer = CreateIrIndexer()
+        monkeypatch.setattr(
+            TemporalGraph,
+            "close",
+            lambda self, max_rounds=50: (_ for _ in ()).throw(
+                TemporalInconsistencyError("boom")
+            ),
+        )
+        for i in range(3):
+            indexer.index_report(
+                f"doc-{i}",
+                "t",
+                "fever treated with aspirin",
+                _SPANS,
+                [("T1", "T2", "BEFORE")],
+            )
+        assert indexer.closure_failures == 3
+        assert indexer.stats()["closure_failures"] == 3

@@ -1,0 +1,51 @@
+"""Throughput of the correctness harness (`repro.testing`).
+
+The fuzz-smoke CI job runs on every push, so differential throughput
+is a budget the rest of the repo must live within: the acceptance bar
+is 500 cases/subsystem across all oracles in under 120 s on one core.
+This benchmark measures cases/second per subsystem and checks the bar
+with margin.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_result
+
+from repro.testing import SUBSYSTEMS, run
+
+CASES = 150
+BUDGET_SECONDS = 120.0
+ACCEPTANCE_CASES = 500
+
+
+def test_fuzz_throughput():
+    per_subsystem = {}
+    total_elapsed = 0.0
+    for subsystem in SUBSYSTEMS:
+        started = time.perf_counter()
+        report = run(subsystems=(subsystem,), seed=0, cases=CASES)
+        elapsed = time.perf_counter() - started
+        assert report.ok, f"{subsystem}: {report.failures[0].message}"
+        per_subsystem[subsystem] = elapsed
+        total_elapsed += elapsed
+
+    projected = total_elapsed * ACCEPTANCE_CASES / CASES
+    lines = [
+        f"Differential harness throughput ({CASES} cases/subsystem, seed 0)",
+        f"{'subsystem':<12}{'total s':>9}{'cases/s':>10}",
+    ]
+    for subsystem, elapsed in per_subsystem.items():
+        lines.append(
+            f"{subsystem:<12}{elapsed:>9.2f}{CASES / elapsed:>10.0f}"
+        )
+    lines.append(
+        f"projected {ACCEPTANCE_CASES} cases/subsystem: {projected:.1f}s "
+        f"(budget {BUDGET_SECONDS:.0f}s)"
+    )
+    write_result("bench_fuzz_harness", lines)
+    assert projected < BUDGET_SECONDS, (
+        f"projected {projected:.1f}s exceeds the {BUDGET_SECONDS:.0f}s "
+        "acceptance budget"
+    )

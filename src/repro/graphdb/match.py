@@ -128,6 +128,11 @@ def match_pattern(
     ) -> bool:
         if any(bound.node_id == node.node_id for bound in binding.values()):
             return False  # injective matching, as in cypher MATCH
+        # Self-loop patterns (source var == target var) constrain the
+        # candidate itself, not a previously bound variable.
+        for edge in edges_by_vars.get(frozenset((var,)), ()):
+            if not _edge_satisfied(graph, edge, var, node, var, node):
+                return False
         for other_var, other_node in binding.items():
             for edge in edges_by_vars.get(frozenset((var, other_var)), ()):
                 if not _edge_satisfied(graph, edge, var, node, other_var, other_node):

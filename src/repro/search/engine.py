@@ -179,15 +179,18 @@ class SearchEngine:
             current = by_position.get(token.position)
             if current is None or len(token.term) > len(current):
                 by_position[token.position] = token.term
-        terms = [by_position[pos] for pos in sorted(by_position)]
-        if not terms:
+        if not by_position:
             return {}
+        # Keep the analyzed positions (stop filters leave gaps) so a
+        # document phrase-matches its own text, as in ES.
+        offsets = sorted(by_position)
+        terms = [by_position[pos] for pos in offsets]
         index = self._field_index(field_name)
         scorer = BM25Scorer(index)
         base = scorer.score_terms(terms)
         out = {}
         for ordinal in base:
-            if index.phrase_positions(ordinal, terms):
+            if index.phrase_positions(ordinal, terms, offsets):
                 out[ordinal] = base[ordinal] * 2.0  # phrase boost
         return out
 

@@ -109,11 +109,30 @@ class InvertedIndex:
         return sorted(self._postings)
 
     def phrase_positions(
-        self, doc_ord: int, terms: Sequence[str]
+        self,
+        doc_ord: int,
+        terms: Sequence[str],
+        offsets: Sequence[int] | None = None,
     ) -> list[int]:
-        """Start positions where ``terms`` occur consecutively in a doc."""
+        """Start positions where ``terms`` occur as a phrase in a doc.
+
+        By default the terms must be consecutive.  ``offsets`` gives each
+        term's position relative to the phrase start instead, which lets
+        callers preserve analyzer position gaps (stopword slots), as
+        ElasticSearch phrase queries do.
+
+        Raises:
+            ValueError: ``offsets`` length does not match ``terms``.
+        """
         if not terms:
             return []
+        if offsets is None:
+            relative = range(len(terms))
+        else:
+            if len(offsets) != len(terms):
+                raise ValueError("offsets/terms length mismatch")
+            base = offsets[0]
+            relative = [offset - base for offset in offsets]
         position_lists = []
         for term in terms:
             positions = None
@@ -128,8 +147,8 @@ class InvertedIndex:
         hits = []
         for start in sorted(first):
             if all(
-                (start + offset) in position_lists[offset]
-                for offset in range(1, len(terms))
+                (start + relative[i]) in position_lists[i]
+                for i in range(1, len(terms))
             ):
                 hits.append(start)
         return hits

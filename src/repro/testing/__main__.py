@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.testing``."""
+
+import sys
+
+from repro.testing.cli import main
+
+sys.exit(main())

@@ -1,0 +1,374 @@
+"""The differential runner: optimized implementations vs. oracles.
+
+For each subsystem a checker replays one generated case through both
+the production code path and the brute-force oracle and returns
+``None`` (agreement) or a failure message.  :func:`run` drives seeded
+batches across subsystems and reports a digest of the exact case
+sequence, so determinism itself is testable (same seed, same digest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import TemporalInconsistencyError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.match import (
+    EdgePattern,
+    GraphPattern,
+    NodePattern,
+    iter_edge_bindings,
+    match_pattern,
+)
+from repro.ml import infer
+from repro.search.analysis import STANDARD_ANALYZER_CONFIG
+from repro.search.engine import SearchEngine
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.relations import DENSE_ALGEBRA, THREE_WAY_ALGEBRA
+from repro.testing import generators
+from repro.testing.invariants import check_invariants_case
+from repro.testing.oracles import (
+    ANALYZER_CONFIGS,
+    ReferenceSearchEngine,
+    brute_force_bindings,
+    exhaustive_decode,
+    reference_closure,
+)
+from repro.testing.rng import case_rng
+
+SUBSYSTEMS = ("search", "graph", "crf", "temporal", "invariants")
+
+_TOLERANCE = 1e-8
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One reproducible optimized-vs-oracle disagreement."""
+
+    subsystem: str
+    seed: int
+    case_index: int
+    message: str
+    case: dict
+
+
+@dataclass
+class RunReport:
+    """Outcome of one batch run."""
+
+    seed: int
+    cases_per_subsystem: int
+    counts: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+    digest: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# -- per-subsystem checkers --------------------------------------------------
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _TOLERANCE * (1.0 + max(abs(a), abs(b)))
+
+
+def _search_once(engine, query):
+    """('error', type name) or a ranked (doc_id, score) list."""
+    try:
+        hits = engine.search(query, size=10)
+    except Exception as exc:
+        return ("error", type(exc).__name__)
+    if isinstance(engine, SearchEngine):
+        return [(hit.doc_id, hit.score) for hit in hits]
+    return list(hits)
+
+
+def check_search_case(case: dict) -> str | None:
+    if case.get("analyzer") not in ANALYZER_CONFIGS:
+        return None  # malformed (post-shrink) case: vacuous
+    field_analyzers = {
+        "body": ANALYZER_CONFIGS[case["analyzer"]],
+        "title": STANDARD_ANALYZER_CONFIG,
+    }
+    engine = SearchEngine(field_analyzers)
+    reference = ReferenceSearchEngine(field_analyzers)
+    for op in case["ops"]:
+        if op["op"] == "index":
+            engine.index(op["id"], op["fields"])
+            reference.index(op["id"], op["fields"])
+        else:
+            got = engine.delete(op["id"])
+            want = reference.delete(op["id"])
+            if got != want:
+                return f"delete({op['id']!r}) -> {got}, oracle {want}"
+        if engine.n_documents != reference.n_documents:
+            return (
+                f"doc count diverged after {op!r}: "
+                f"{engine.n_documents} vs {reference.n_documents}"
+            )
+    for query in case["queries"]:
+        got = _search_once(engine, query)
+        want = _search_once(reference, query)
+        if isinstance(got, tuple) or isinstance(want, tuple):
+            if got != want:
+                return f"{query!r}: engine {got!r}, oracle {want!r}"
+            continue
+        if [doc_id for doc_id, _ in got] != [doc_id for doc_id, _ in want]:
+            return f"{query!r}: ranking {got!r}, oracle {want!r}"
+        for (_, got_score), (_, want_score) in zip(got, want):
+            if not _close(got_score, want_score):
+                return (
+                    f"{query!r}: scores diverged {got!r} vs {want!r}"
+                )
+    return None
+
+
+def _build_graph_case(case: dict):
+    graph = PropertyGraph()
+    for node_id, props in case["nodes"]:
+        graph.add_node(node_id, **props)
+    if case.get("index_property"):
+        graph.create_property_index("entityType")
+    for src, dst, label in case["edges"]:
+        graph.add_edge(src, dst, label)
+    pattern = GraphPattern(
+        nodes=[
+            NodePattern(var, properties=tuple(sorted(props.items())))
+            for var, props in case["pattern_nodes"]
+        ],
+        edges=[
+            EdgePattern(src, dst, label=label, directed=bool(directed))
+            for src, dst, label, directed in case["pattern_edges"]
+        ],
+    )
+    return graph, pattern
+
+
+def check_graph_case(case: dict) -> str | None:
+    try:
+        graph, pattern = _build_graph_case(case)
+        pattern.validate()
+    except Exception:
+        return None  # malformed (post-shrink) case: vacuous
+    expected = {
+        frozenset(binding.items())
+        for binding in brute_force_bindings(graph, pattern)
+    }
+    got_bindings = match_pattern(graph, pattern)
+    got = [
+        frozenset(
+            (var, node.node_id) for var, node in binding.items()
+        )
+        for binding in got_bindings
+    ]
+    if len(got) != len(set(got)):
+        return f"match_pattern returned duplicate bindings: {got!r}"
+    if set(got) != expected:
+        return (
+            f"bindings diverged: match_pattern {sorted(map(sorted, got))} "
+            f"vs oracle {sorted(map(sorted, expected))}"
+        )
+    limit = case.get("limit")
+    if limit is not None:
+        limited = match_pattern(graph, pattern, limit=limit)
+        if len(limited) != min(limit, len(expected)):
+            return (
+                f"limit={limit} returned {len(limited)} bindings, "
+                f"expected {min(limit, len(expected))}"
+            )
+        for binding in limited:
+            key = frozenset(
+                (var, node.node_id) for var, node in binding.items()
+            )
+            if key not in expected:
+                return f"limited binding {sorted(key)} not admissible"
+    for binding in got_bindings[:5]:
+        realized = list(iter_edge_bindings(graph, binding, pattern))
+        if len(realized) != len(pattern.edges):
+            return (
+                f"iter_edge_bindings realized {len(realized)} of "
+                f"{len(pattern.edges)} edges for {sorted(binding)}"
+            )
+        for edge_pattern, edge in realized:
+            if not edge_pattern.admits(edge):
+                return f"iter_edge_bindings yielded inadmissible {edge!r}"
+            src = binding[edge_pattern.source].node_id
+            dst = binding[edge_pattern.target].node_id
+            endpoints_ok = edge.source == src and edge.target == dst
+            if not endpoints_ok and not edge_pattern.directed:
+                endpoints_ok = edge.source == dst and edge.target == src
+            if not endpoints_ok:
+                return (
+                    f"iter_edge_bindings edge {edge!r} does not connect "
+                    f"{src!r}->{dst!r}"
+                )
+    return None
+
+
+def check_crf_case(case: dict) -> str | None:
+    try:
+        emissions = np.asarray(case["emissions"], dtype=float)
+        transitions = np.asarray(case["transitions"], dtype=float)
+        start = np.asarray(case["start"], dtype=float)
+        end = np.asarray(case["end"], dtype=float)
+        if (
+            emissions.ndim != 2
+            or transitions.shape != (emissions.shape[1],) * 2
+            or start.shape != (emissions.shape[1],)
+            or end.shape != (emissions.shape[1],)
+            or emissions.shape[0] > 7
+            or emissions.shape[1] > 5
+        ):
+            return None  # malformed (post-shrink) case: vacuous
+    except (ValueError, KeyError):
+        return None
+    best_score, _best_path, log_z = exhaustive_decode(
+        case["emissions"], case["transitions"], case["start"], case["end"]
+    )
+    path, score = infer.viterbi(emissions, transitions, start, end)
+    if not _close(score, best_score):
+        return (
+            f"viterbi score {score} != exhaustive max {best_score}"
+        )
+    realized = infer.sequence_score(
+        path, emissions, transitions, start, end
+    )
+    if not _close(realized, best_score):
+        return (
+            f"viterbi path scores {realized}, exhaustive max {best_score} "
+            f"(backpointers inconsistent with claimed score {score})"
+        )
+    _alpha, forward_z = infer.forward_log(emissions, transitions, start, end)
+    if not _close(forward_z, log_z):
+        return f"forward log Z {forward_z} != exhaustive {log_z}"
+    return None
+
+
+_ALGEBRAS = {"three": THREE_WAY_ALGEBRA, "dense": DENSE_ALGEBRA}
+
+
+def check_temporal_case(case: dict) -> str | None:
+    algebra = _ALGEBRAS.get(case.get("algebra"))
+    if algebra is None:
+        return None
+    edges = case["edges"]
+    for item in edges:
+        if len(item) != 3 or item[0] == item[1]:
+            return None  # malformed (post-shrink) case: vacuous
+        if item[2] not in algebra.labels:
+            return None
+    tg = TemporalGraph(algebra=algebra)
+    status = "ok"
+    try:
+        for src, dst, label in edges:
+            tg.add(src, dst, label)
+        tg.close()
+    except TemporalInconsistencyError:
+        status = "inconsistent"
+    ref_status, ref_payload = reference_closure(edges, algebra)
+    if status != ref_status:
+        return (
+            f"consistency verdicts diverged: TemporalGraph {status}, "
+            f"oracle {ref_status} ({ref_payload!r})"
+        )
+    if status != "ok":
+        return None
+    got = {(a, b): label for a, b, label in tg.edges()}
+    if got != ref_payload:
+        only_got = {k: v for k, v in got.items() if ref_payload.get(k) != v}
+        only_ref = {k: v for k, v in ref_payload.items() if got.get(k) != v}
+        return (
+            f"closures diverged: graph-only {only_got!r}, "
+            f"oracle-only {only_ref!r}"
+        )
+    if tg.close() != 0:
+        return "close() is not idempotent: second pass inferred relations"
+    if tg.n_relations != tg.n_explicit + tg.n_inferred:
+        return (
+            f"relation accounting broken: {tg.n_relations} != "
+            f"{tg.n_explicit} + {tg.n_inferred}"
+        )
+    return None
+
+
+GENERATORS = {
+    "search": generators.gen_search_case,
+    "graph": generators.gen_graph_case,
+    "crf": generators.gen_crf_case,
+    "temporal": generators.gen_temporal_case,
+    "invariants": generators.gen_invariants_case,
+}
+
+CHECKERS = {
+    "search": check_search_case,
+    "graph": check_graph_case,
+    "crf": check_crf_case,
+    "temporal": check_temporal_case,
+    "invariants": check_invariants_case,
+}
+
+
+def generate_case(subsystem: str, seed: int, case_index: int) -> dict:
+    """Deterministically regenerate one case."""
+    return GENERATORS[subsystem](case_rng(seed, subsystem, case_index))
+
+
+def check_case(subsystem: str, case: dict) -> str | None:
+    """Run one case; unexpected harness exceptions count as failures."""
+    try:
+        return CHECKERS[subsystem](case)
+    except Exception:
+        return "checker crashed:\n" + traceback.format_exc(limit=6)
+
+
+def case_digest(case: dict) -> str:
+    """Stable content hash of a case (used for run digests)."""
+    payload = json.dumps(case, sort_keys=True, ensure_ascii=False)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run(
+    subsystems=SUBSYSTEMS,
+    seed: int = 0,
+    cases: int = 200,
+    fail_fast: bool = True,
+    on_progress=None,
+) -> RunReport:
+    """Fuzz ``cases`` cases per subsystem; collect failures.
+
+    With ``fail_fast`` a failing subsystem stops early (its remaining
+    cases are skipped) but other subsystems still run.
+    """
+    report = RunReport(seed=seed, cases_per_subsystem=cases)
+    hasher = hashlib.sha256()
+    started = time.perf_counter()
+    for subsystem in subsystems:
+        if subsystem not in GENERATORS:
+            raise ValueError(f"unknown subsystem {subsystem!r}")
+        executed = 0
+        for index in range(cases):
+            case = generate_case(subsystem, seed, index)
+            hasher.update(case_digest(case).encode("ascii"))
+            message = check_case(subsystem, case)
+            executed += 1
+            if message is not None:
+                report.failures.append(
+                    Failure(subsystem, seed, index, message, case)
+                )
+                if fail_fast:
+                    break
+        report.counts[subsystem] = executed
+        if on_progress is not None:
+            on_progress(subsystem, executed)
+    report.digest = hasher.hexdigest()
+    report.elapsed = time.perf_counter() - started
+    return report

@@ -1,0 +1,268 @@
+"""Seed-driven generators of synthetic fuzz cases.
+
+Each generator consumes a :class:`random.Random` and returns a plain
+JSON-serializable dict (lists, dicts, strings, numbers only) so a case
+can be written to a seed file, replayed, and shrunk structurally
+without any pickling.
+
+The vocabulary deliberately mixes clinical-ish words, stopwords (so
+phrase queries cross position gaps), 1-2 letter codes (kept whole by
+the n-gram tokenizer), an accented word (asciifolding), and words
+sharing stems (stemmer collisions).
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+VOCABULARY = [
+    "fever",
+    "fevers",
+    "cough",
+    "chest",
+    "pain",
+    "dyspnea",
+    "amiodarone",
+    "patient",
+    "admitted",
+    "acute",
+    "renal",
+    "failure",
+    "mild",
+    "café",
+    "bp",
+    "iv",
+    "the",
+    "and",
+    "of",
+    "was",
+]
+
+ANALYZERS = ["standard", "whitespace", "ngram"]
+
+TEMPORAL_ALGEBRAS = ["three", "dense"]
+
+
+def gen_text(rng: Random, max_words: int = 10, min_words: int = 0) -> str:
+    n = rng.randint(min_words, max(min_words, max_words))
+    return " ".join(rng.choice(VOCABULARY) for _ in range(n))
+
+
+# -- search ------------------------------------------------------------------
+
+
+def gen_query(rng: Random, depth: int = 0) -> dict:
+    """One ES-style query dict (bool clauses nest at most twice)."""
+    kinds = ["match", "match", "match_phrase", "term", "multi_match",
+             "match_all"]
+    if depth < 2:
+        kinds += ["bool", "bool"]
+    kind = rng.choice(kinds)
+    field = rng.choice(["body", "title"])
+    if kind == "match":
+        return {"match": {field: gen_text(rng, 4, 1)}}
+    if kind == "match_phrase":
+        return {"match_phrase": {field: gen_text(rng, 4, 1)}}
+    if kind == "term":
+        return {"term": {field: rng.choice(VOCABULARY)}}
+    if kind == "multi_match":
+        fields = rng.choice([["body"], ["body^2", "title"], ["title^0.5"]])
+        return {
+            "multi_match": {"query": gen_text(rng, 3, 1), "fields": fields}
+        }
+    if kind == "match_all":
+        return {"match_all": {}}
+    body: dict = {}
+    for clause in ("must", "should", "must_not"):
+        n = rng.randint(0, 2)
+        if n:
+            body[clause] = [gen_query(rng, depth + 1) for _ in range(n)]
+    if not body:
+        body["should"] = [gen_query(rng, depth + 1)]
+    return {"bool": body}
+
+
+def gen_search_case(rng: Random) -> dict:
+    """Documents + index/delete operations + a query batch."""
+    ops = []
+    for _ in range(rng.randint(1, 8)):
+        if ops and rng.random() < 0.25:
+            ops.append({"op": "delete", "id": f"d{rng.randint(0, 5)}"})
+        else:
+            ops.append(
+                {
+                    "op": "index",
+                    "id": f"d{rng.randint(0, 5)}",
+                    "fields": {
+                        "body": gen_text(rng, 10),
+                        "title": gen_text(rng, 4),
+                    },
+                }
+            )
+    return {
+        "analyzer": rng.choice(ANALYZERS),
+        "ops": ops,
+        "queries": [gen_query(rng) for _ in range(rng.randint(1, 5))],
+    }
+
+
+# -- graph -------------------------------------------------------------------
+
+_EDGE_LABELS = ["BEFORE", "OVERLAP", "CAUSES", "MODIFIES"]
+_NODE_TYPES = ["Sign_symptom", "Medication", "Lab_value"]
+
+
+def gen_graph_case(rng: Random) -> dict:
+    """A small multigraph (self-loops, parallel edges) plus a pattern."""
+    n_nodes = rng.randint(1, 6)
+    nodes = [
+        [f"n{i}", {"entityType": rng.choice(_NODE_TYPES)}]
+        for i in range(n_nodes)
+    ]
+    edges = []
+    for _ in range(rng.randint(0, 10)):
+        src = f"n{rng.randint(0, n_nodes - 1)}"
+        dst = (
+            src  # deliberate self-loops ~20% of the time
+            if rng.random() < 0.2
+            else f"n{rng.randint(0, n_nodes - 1)}"
+        )
+        edges.append([src, dst, rng.choice(_EDGE_LABELS)])
+    n_vars = rng.randint(1, min(3, n_nodes))
+    variables = [f"v{i}" for i in range(n_vars)]
+    pattern_nodes = []
+    for var in variables:
+        props = {}
+        if rng.random() < 0.5:
+            props["entityType"] = rng.choice(_NODE_TYPES)
+        pattern_nodes.append([var, props])
+    pattern_edges = []
+    for _ in range(rng.randint(0, 4)):
+        pattern_edges.append(
+            [
+                rng.choice(variables),
+                rng.choice(variables),
+                rng.choice(_EDGE_LABELS + [None]),
+                rng.random() < 0.7,  # directed?
+            ]
+        )
+    return {
+        "nodes": nodes,
+        "edges": edges,
+        "pattern_nodes": pattern_nodes,
+        "pattern_edges": pattern_edges,
+        "limit": rng.choice([None, None, rng.randint(1, 4)]),
+        "index_property": rng.random() < 0.5,
+    }
+
+
+# -- crf ---------------------------------------------------------------------
+
+
+def gen_crf_case(rng: Random) -> dict:
+    """Random linear-chain potentials, small enough for exhaustive decode."""
+    n_steps = rng.randint(1, 5)
+    n_labels = rng.randint(1, 4)
+
+    def vec():
+        return [round(rng.uniform(-3.0, 3.0), 6) for _ in range(n_labels)]
+
+    return {
+        "emissions": [vec() for _ in range(n_steps)],
+        "transitions": [vec() for _ in range(n_labels)],
+        "start": vec(),
+        "end": vec(),
+    }
+
+
+# -- temporal ----------------------------------------------------------------
+
+
+def _three_way_label(a: tuple[int, int], b: tuple[int, int]) -> str:
+    # The three-way algebra models point events (paper Figure 5), so
+    # only the start instants matter.
+    if a[0] < b[0]:
+        return "BEFORE"
+    if a[0] > b[0]:
+        return "AFTER"
+    return "OVERLAP"
+
+
+def _dense_label(a: tuple[int, int], b: tuple[int, int]) -> str:
+    if a == b:
+        return "SIMULTANEOUS"
+    if a[1] < b[0]:
+        return "BEFORE"
+    if b[1] < a[0]:
+        return "AFTER"
+    if a[0] <= b[0] and b[1] <= a[1]:
+        return "INCLUDES"
+    if b[0] <= a[0] and a[1] <= b[1]:
+        return "IS_INCLUDED"
+    return "VAGUE"
+
+
+def gen_temporal_case(rng: Random) -> dict:
+    """Edges sampled from a random interval model (hence consistent),
+    optionally perturbed with one random relabel (possibly not)."""
+    algebra = rng.choice(TEMPORAL_ALGEBRAS)
+    n_events = rng.randint(2, 6)
+    intervals = {}
+    for i in range(n_events):
+        start = rng.randint(0, 8)
+        intervals[f"e{i}"] = (start, start + rng.randint(1, 4))
+    label_of = _three_way_label if algebra == "three" else _dense_label
+    events = sorted(intervals)
+    pairs = [
+        (a, b) for i, a in enumerate(events) for b in events[i + 1:]
+    ]
+    rng.shuffle(pairs)
+    keep = rng.randint(1, len(pairs))
+    edges = [
+        [a, b, label_of(intervals[a], intervals[b])]
+        for a, b in pairs[:keep]
+    ]
+    if edges and rng.random() < 0.3:
+        victim = rng.randrange(len(edges))
+        labels = (
+            ["BEFORE", "AFTER", "OVERLAP"]
+            if algebra == "three"
+            else [
+                "BEFORE",
+                "AFTER",
+                "INCLUDES",
+                "IS_INCLUDED",
+                "SIMULTANEOUS",
+                "VAGUE",
+            ]
+        )
+        edges[victim][2] = rng.choice(labels)
+    return {"algebra": algebra, "edges": edges}
+
+
+# -- fusion / invariants -----------------------------------------------------
+
+
+def gen_fusion_case(rng: Random) -> dict:
+    """Ranked lists with deliberate score ties and doc overlap."""
+
+    def ranked(n):
+        return [
+            [f"d{rng.randint(0, 6)}", float(rng.randint(0, 3))]
+            for _ in range(n)
+        ]
+
+    return {
+        "graph_ranked": ranked(rng.randint(0, 6)),
+        "keyword_ranked": ranked(rng.randint(0, 6)),
+        "size": rng.randint(1, 8),
+    }
+
+
+def gen_invariants_case(rng: Random) -> dict:
+    """Inputs for the metamorphic invariant suite."""
+    return {
+        "search": gen_search_case(rng),
+        "fusion": gen_fusion_case(rng),
+        "shuffle_seed": rng.randint(0, 2**31),
+    }

@@ -1,0 +1,98 @@
+"""Structural shrinking of failing fuzz cases (delta-debugging lite).
+
+Cases are plain JSON trees, so shrinking is generic: greedily try
+removing list spans and elements, dropping words from strings, and
+halving numbers — recursively at every depth — keeping any candidate
+on which the failure still reproduces, until a fixpoint (or an
+evaluation budget) is reached.
+
+Checkers treat structurally malformed cases as vacuous (they return
+``None``), so the shrinker can propose aggressive candidates without
+any schema knowledge: invalid ones simply stop reproducing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+
+def _candidates(obj) -> Iterator:
+    """Structurally smaller variants of a JSON-like value, biggest
+    reductions first."""
+    if isinstance(obj, dict):
+        for key in obj:
+            for sub in _candidates(obj[key]):
+                yield {**obj, key: sub}
+    elif isinstance(obj, list):
+        n = len(obj)
+        if n == 0:
+            return
+        # Remove spans (half, then quarters), then single elements.
+        for step in {max(n // 2, 1), max(n // 4, 1), 1}:
+            for i in range(0, n, step):
+                smaller = obj[:i] + obj[i + step:]
+                if len(smaller) < n:
+                    yield smaller
+        for i, element in enumerate(obj):
+            for sub in _candidates(element):
+                yield obj[:i] + [sub] + obj[i + 1:]
+    elif isinstance(obj, str):
+        words = obj.split()
+        if len(words) > 1:
+            for i in range(len(words)):
+                yield " ".join(words[:i] + words[i + 1:])
+        elif obj:
+            yield ""
+    elif isinstance(obj, bool):
+        if obj:
+            yield False
+    elif isinstance(obj, int):
+        if obj > 0:
+            yield obj // 2
+    elif isinstance(obj, float):
+        if obj:
+            yield 0.0
+
+
+def _size(obj) -> int:
+    if isinstance(obj, dict):
+        return 1 + sum(_size(v) for v in obj.values())
+    if isinstance(obj, list):
+        return 1 + sum(_size(v) for v in obj)
+    if isinstance(obj, str):
+        return 1 + len(obj.split())
+    return 1
+
+
+def shrink(
+    case: dict,
+    still_fails: Callable[[dict], bool],
+    max_evaluations: int = 3000,
+) -> dict:
+    """Greedy fixpoint shrink of ``case`` under ``still_fails``.
+
+    Args:
+        case: the failing case (JSON-like dict).
+        still_fails: predicate; True when the candidate reproduces
+            the original failure.
+        max_evaluations: budget of predicate calls.
+
+    Returns:
+        A (weakly) smaller case that still fails.
+    """
+    best = case
+    evaluations = 0
+    progress = True
+    while progress and evaluations < max_evaluations:
+        progress = False
+        for candidate in _candidates(best):
+            if _size(candidate) >= _size(best):
+                continue
+            evaluations += 1
+            if evaluations > max_evaluations:
+                break
+            if still_fails(candidate):
+                best = candidate
+                progress = True
+                break
+    return best

@@ -1,0 +1,150 @@
+"""`match_pattern`/`iter_edge_bindings`/`EdgePattern.admits` against the
+brute-force oracle on multi-edge and self-loop graphs (ISSUE 2 satellite)."""
+
+import pytest
+
+from repro.graphdb.graph import Edge, PropertyGraph
+from repro.graphdb.match import (
+    EdgePattern,
+    GraphPattern,
+    NodePattern,
+    iter_edge_bindings,
+    match_pattern,
+)
+from repro.testing.oracles import brute_force_bindings
+
+
+def _binding_ids(bindings):
+    return {
+        frozenset((var, node.node_id) for var, node in binding.items())
+        for binding in bindings
+    }
+
+
+def _oracle_ids(graph, pattern):
+    return {
+        frozenset(binding.items())
+        for binding in brute_force_bindings(graph, pattern)
+    }
+
+
+@pytest.fixture
+def multigraph():
+    g = PropertyGraph()
+    g.add_node("n1", entityType="A")
+    g.add_node("n2", entityType="A")
+    g.add_node("n3", entityType="B")
+    g.add_edge("n1", "n2", "R")
+    g.add_edge("n1", "n2", "S")  # parallel edge, different label
+    g.add_edge("n2", "n1", "R")  # reverse direction
+    g.add_edge("n1", "n1", "LOOP")
+    g.add_edge("n3", "n3", "LOOP")
+    g.add_edge("n3", "n3", "LOOP")  # parallel self-loop
+    return g
+
+
+class TestEdgePatternAdmits:
+    def test_wildcard_label(self):
+        assert EdgePattern("a", "b").admits(Edge(0, "x", "y", "R"))
+
+    def test_label_match_and_mismatch(self):
+        pattern = EdgePattern("a", "b", label="R")
+        assert pattern.admits(Edge(0, "x", "y", "R"))
+        assert not pattern.admits(Edge(0, "x", "y", "S"))
+
+    def test_self_loop_edge_admitted_by_label(self):
+        pattern = EdgePattern("a", "a", label="LOOP")
+        assert pattern.admits(Edge(0, "x", "x", "LOOP"))
+        assert not pattern.admits(Edge(0, "x", "x", "R"))
+
+
+class TestMatchAgainstOracle:
+    def test_self_loop_pattern_only_binds_looped_nodes(self, multigraph):
+        pattern = GraphPattern(
+            [NodePattern("a")], [EdgePattern("a", "a", label="LOOP")]
+        )
+        got = _binding_ids(match_pattern(multigraph, pattern))
+        assert got == _oracle_ids(multigraph, pattern)
+        assert got == {
+            frozenset({("a", "n1")}),
+            frozenset({("a", "n3")}),
+        }
+
+    def test_self_loop_any_label(self, multigraph):
+        pattern = GraphPattern(
+            [NodePattern("a")], [EdgePattern("a", "a")]
+        )
+        got = _binding_ids(match_pattern(multigraph, pattern))
+        assert got == _oracle_ids(multigraph, pattern)
+
+    def test_self_loop_combined_with_binary_edge(self, multigraph):
+        pattern = GraphPattern(
+            [NodePattern("a"), NodePattern("b")],
+            [
+                EdgePattern("a", "a", label="LOOP"),
+                EdgePattern("a", "b", label="R"),
+            ],
+        )
+        got = _binding_ids(match_pattern(multigraph, pattern))
+        assert got == _oracle_ids(multigraph, pattern)
+        assert got == {frozenset({("a", "n1"), ("b", "n2")})}
+
+    def test_parallel_edges_count_once(self, multigraph):
+        pattern = GraphPattern(
+            [NodePattern("a"), NodePattern("b")],
+            [EdgePattern("a", "b")],
+        )
+        got = match_pattern(multigraph, pattern)
+        assert len(got) == len(_binding_ids(got))  # no duplicate bindings
+        assert _binding_ids(got) == _oracle_ids(multigraph, pattern)
+
+    def test_undirected_self_loop(self, multigraph):
+        pattern = GraphPattern(
+            [NodePattern("a")],
+            [EdgePattern("a", "a", label="LOOP", directed=False)],
+        )
+        got = _binding_ids(match_pattern(multigraph, pattern))
+        assert got == _oracle_ids(multigraph, pattern)
+
+    def test_property_constrained_with_self_loop(self, multigraph):
+        pattern = GraphPattern(
+            [NodePattern("a", properties=(("entityType", "B"),))],
+            [EdgePattern("a", "a", label="LOOP")],
+        )
+        got = _binding_ids(match_pattern(multigraph, pattern))
+        assert got == {frozenset({("a", "n3")})}
+        assert got == _oracle_ids(multigraph, pattern)
+
+
+class TestIterEdgeBindings:
+    def test_realizes_every_pattern_edge(self, multigraph):
+        pattern = GraphPattern(
+            [NodePattern("a"), NodePattern("b")],
+            [
+                EdgePattern("a", "a", label="LOOP"),
+                EdgePattern("a", "b", label="S"),
+            ],
+        )
+        (binding,) = match_pattern(multigraph, pattern)
+        realized = list(iter_edge_bindings(multigraph, binding, pattern))
+        assert len(realized) == 2
+        for edge_pattern, edge in realized:
+            assert edge_pattern.admits(edge)
+        loop_edge = realized[0][1]
+        assert loop_edge.source == loop_edge.target == "n1"
+
+    def test_undirected_edge_realized_in_reverse(self, multigraph):
+        pattern = GraphPattern(
+            [NodePattern("a"), NodePattern("b")],
+            [EdgePattern("a", "b", label="S", directed=False)],
+        )
+        for binding in match_pattern(multigraph, pattern):
+            realized = list(
+                iter_edge_bindings(multigraph, binding, pattern)
+            )
+            assert len(realized) == 1
+            edge = realized[0][1]
+            assert {edge.source, edge.target} == {
+                binding["a"].node_id,
+                binding["b"].node_id,
+            }

@@ -1,0 +1,96 @@
+"""Edge cases for ``InvertedIndex.phrase_positions`` (ISSUE 2 satellite).
+
+Covers: empty phrase, single term, repeated adjacent terms, phrases
+against removed documents, and the position-gap ``offsets`` parameter
+that backs stopword-aware ``match_phrase``.
+"""
+
+import pytest
+
+from repro.search.analysis import AnalyzedToken
+from repro.search.engine import SearchEngine
+from repro.search.inverted_index import InvertedIndex
+
+
+def _tokens(*terms, positions=None):
+    positions = positions or range(len(terms))
+    return [
+        AnalyzedToken(term, position, position, position + 1)
+        for term, position in zip(terms, positions)
+    ]
+
+
+@pytest.fixture
+def index():
+    ix = InvertedIndex()
+    ix.add_document(0, _tokens("chest", "pain", "pain", "relief"))
+    ix.add_document(1, _tokens("pain", "chest"))
+    return ix
+
+
+class TestPhrasePositionsEdges:
+    def test_empty_phrase(self, index):
+        assert index.phrase_positions(0, []) == []
+
+    def test_single_term(self, index):
+        assert index.phrase_positions(0, ["pain"]) == [1, 2]
+
+    def test_single_term_absent(self, index):
+        assert index.phrase_positions(0, ["fever"]) == []
+
+    def test_repeated_adjacent_terms(self, index):
+        assert index.phrase_positions(0, ["pain", "pain"]) == [1]
+
+    def test_repeated_terms_no_adjacency(self, index):
+        assert index.phrase_positions(1, ["pain", "pain"]) == []
+
+    def test_unknown_doc_ord(self, index):
+        assert index.phrase_positions(99, ["chest", "pain"]) == []
+
+    def test_phrase_spanning_removed_document(self, index):
+        assert index.phrase_positions(0, ["chest", "pain"]) == [0]
+        index.remove_document(0)
+        assert index.phrase_positions(0, ["chest", "pain"]) == []
+        # The surviving document is untouched.
+        assert index.phrase_positions(1, ["pain", "chest"]) == [0]
+
+    def test_removed_then_readded_document(self, index):
+        index.remove_document(0)
+        index.add_document(0, _tokens("chest", "pain"))
+        assert index.phrase_positions(0, ["chest", "pain"]) == [0]
+        assert index.phrase_positions(0, ["pain", "relief"]) == []
+
+
+class TestPhraseOffsets:
+    def test_gap_offsets(self):
+        ix = InvertedIndex()
+        # "fever <stop> cough": positions 0 and 2.
+        ix.add_document(0, _tokens("fever", "cough", positions=[0, 2]))
+        assert ix.phrase_positions(0, ["fever", "cough"]) == []
+        assert ix.phrase_positions(0, ["fever", "cough"], [0, 2]) == [0]
+
+    def test_offsets_are_normalized_to_first(self):
+        ix = InvertedIndex()
+        ix.add_document(0, _tokens("a", "b", positions=[3, 5]))
+        assert ix.phrase_positions(0, ["a", "b"], [10, 12]) == [3]
+
+    def test_offsets_length_mismatch(self):
+        ix = InvertedIndex()
+        ix.add_document(0, _tokens("a"))
+        with pytest.raises(ValueError):
+            ix.phrase_positions(0, ["a"], [0, 1])
+
+
+class TestEnginePhraseGaps:
+    def test_document_phrase_matches_its_own_text(self):
+        engine = SearchEngine()
+        engine.index("d1", {"body": "fever and cough"})
+        engine.index("d2", {"body": "cough and fever"})
+        hits = engine.search({"match_phrase": {"body": "fever and cough"}})
+        assert [hit.doc_id for hit in hits] == ["d1"]
+
+    def test_adjacent_text_does_not_match_gapped_phrase(self):
+        engine = SearchEngine()
+        engine.index("d1", {"body": "fever cough"})  # no stopword gap
+        hits = engine.search({"match_phrase": {"body": "fever and cough"}})
+        assert hits == []

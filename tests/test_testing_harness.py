@@ -1,0 +1,169 @@
+"""Tests of the fuzz harness itself: determinism, shrinking, CLI."""
+
+import json
+
+import pytest
+
+from repro.testing import (
+    SUBSYSTEMS,
+    check_case,
+    generate_case,
+    run,
+    shrink,
+)
+from repro.testing.cli import main
+from repro.testing.differential import case_digest
+from repro.testing.rng import case_rng, derive_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_cases(self):
+        for subsystem in SUBSYSTEMS:
+            a = generate_case(subsystem, seed=7, case_index=3)
+            b = generate_case(subsystem, seed=7, case_index=3)
+            assert a == b
+
+    def test_different_seeds_differ(self):
+        digests = {
+            case_digest(generate_case("search", seed, 0))
+            for seed in range(8)
+        }
+        assert len(digests) > 1
+
+    def test_run_digest_is_reproducible(self):
+        first = run(seed=5, cases=5)
+        second = run(seed=5, cases=5)
+        assert first.digest == second.digest
+        assert first.counts == second.counts
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(1, "search", 2) == derive_seed(1, "search", 2)
+        assert derive_seed(1, "search", 2) != derive_seed(1, "graph", 2)
+
+    def test_case_rng_isolated_per_case(self):
+        assert case_rng(0, "crf", 0).random() != case_rng(0, "crf", 1).random()
+
+    def test_cases_are_json_serializable(self):
+        for subsystem in SUBSYSTEMS:
+            case = generate_case(subsystem, seed=0, case_index=0)
+            assert json.loads(json.dumps(case)) == case
+
+
+class TestBatchRun:
+    def test_small_batch_runs_clean(self):
+        report = run(seed=0, cases=25)
+        assert report.ok, report.failures[0].message if report.failures else ""
+        assert report.counts == {name: 25 for name in SUBSYSTEMS}
+
+    def test_unknown_subsystem_rejected(self):
+        with pytest.raises(ValueError):
+            run(subsystems=("nope",), seed=0, cases=1)
+
+    def test_differential_has_teeth(self, monkeypatch):
+        """A sabotaged idf must be flagged by the search differential."""
+        from repro.search.bm25 import BM25Scorer
+
+        original = BM25Scorer.idf
+        monkeypatch.setattr(
+            BM25Scorer, "idf", lambda self, term: original(self, term) + 0.01
+        )
+        report = run(subsystems=("search",), seed=0, cases=50)
+        assert not report.ok
+
+    def test_invariants_have_teeth(self, monkeypatch):
+        """A nondeterministic fusion must be flagged."""
+        import repro.ir.ranking as ranking
+
+        original = ranking.fuse_results
+
+        def unsorted_fusion(graph_ranked, keyword_ranked, size):
+            # Drop the deterministic tie-break: input order leaks out.
+            out = []
+            seen = set()
+            for doc_id, score in list(graph_ranked) + list(keyword_ranked):
+                if doc_id not in seen and len(out) < size:
+                    seen.add(doc_id)
+                    out.append((doc_id, score, "graph"))
+            return out
+
+        monkeypatch.setattr(
+            "repro.testing.invariants.fuse_results", unsorted_fusion
+        )
+        report = run(subsystems=("invariants",), seed=0, cases=50)
+        monkeypatch.setattr(
+            "repro.testing.invariants.fuse_results", original
+        )
+        assert not report.ok
+
+    def test_checker_crash_reports_not_raises(self):
+        message = check_case("graph", {"nodes": "garbage"})
+        assert message is None or "crash" in message
+
+
+class TestShrink:
+    def test_shrinks_list_to_minimal_failing_core(self):
+        case = {"items": list(range(20)), "noise": "a b c d e"}
+
+        def fails(candidate):
+            return 13 in candidate.get("items", [])
+
+        small = shrink(case, fails)
+        assert small["items"] == [13]
+        assert small["noise"] == ""
+
+    def test_shrink_preserves_failure(self):
+        case = {"values": [5, 3, 13, 8]}
+        small = shrink(case, lambda c: 13 in c.get("values", []))
+        assert 13 in small["values"]
+
+    def test_budget_respected(self):
+        calls = []
+
+        def fails(candidate):
+            calls.append(1)
+            return True
+
+        shrink({"items": list(range(50))}, fails, max_evaluations=10)
+        assert len(calls) <= 11
+
+
+class TestCli:
+    def test_clean_run_exit_zero(self, capsys):
+        assert main(["--cases", "5", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "agree with their oracles" in out
+        assert "digest" in out
+
+    def test_subsystem_filter(self, capsys):
+        assert main(["--cases", "3", "--subsystem", "crf"]) == 0
+        out = capsys.readouterr().out
+        assert "crf" in out
+        assert "graph" not in out
+
+    def test_failure_writes_replayable_seed_file(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.search.bm25 import BM25Scorer
+
+        original = BM25Scorer.idf
+        monkeypatch.setattr(
+            BM25Scorer, "idf", lambda self, term: original(self, term) + 0.01
+        )
+        out_file = tmp_path / "failure.json"
+        code = main(
+            [
+                "--cases", "50",
+                "--subsystem", "search",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 1
+        saved = json.loads(out_file.read_text())
+        assert saved["subsystem"] == "search"
+        assert saved["message"]
+        assert check_case("search", saved["shrunk_case"]) is not None
+        # The same file replays to exit 1 while the bug is live ...
+        assert main(["--replay", str(out_file)]) == 1
+        monkeypatch.undo()
+        # ... and to exit 0 once fixed.
+        assert main(["--replay", str(out_file)]) == 0

@@ -1,0 +1,85 @@
+"""WAL overhead on ingest: durability off vs sync-commit vs group-commit.
+
+The durability contract (ack-after-fsync) must not make ingest
+unusable: the issue's acceptance bar is WAL-on throughput within 2x of
+in-memory-only ingest.  Group commit is the mechanism that holds the
+line on a real disk — N commits share one append and one fsync — so
+the benchmark reports all three configurations over the same workload
+on real files (tmpfs-or-disk, whatever the runner gives us).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from conftest import write_result
+
+from repro.docstore.store import DocumentStore
+from repro.durability import DurabilityManager, OsFileSystem
+from repro.graphdb.graph import PropertyGraph
+from repro.search.engine import SearchEngine
+
+N_DOCS = 300
+
+
+def _workload(ir_corpus):
+    return [
+        (report.report_id, report.title, report.text)
+        for report in ir_corpus[:N_DOCS]
+    ]
+
+
+def _run(workload, manager=None) -> float:
+    store, graph, engine = DocumentStore(), PropertyGraph(), SearchEngine()
+    if manager is not None:
+        manager.attach("docstore", store)
+        manager.attach("graph", graph)
+        manager.attach("index", engine)
+    start = time.perf_counter()
+    for doc_id, title, text in workload:
+        store.collection("reports").insert_one(
+            {"_id": doc_id, "title": title, "text": text}
+        )
+        graph.add_node(doc_id, entityType="Report", label=title)
+        engine.index(doc_id, {"title": title, "body": text})
+        if manager is not None:
+            manager.commit()
+    if manager is not None:
+        manager.flush()
+    return time.perf_counter() - start
+
+
+def test_wal_overhead(ir_corpus):
+    workload = _workload(ir_corpus)
+    tmp = tempfile.mkdtemp(prefix="bench-wal-")
+    try:
+        baseline = _run(workload)
+        sync_fs = OsFileSystem(tmp + "/sync")
+        sync = _run(workload, DurabilityManager(sync_fs, group_commit=1))
+        sync_fs.close()
+        group_fs = OsFileSystem(tmp + "/group")
+        group = _run(workload, DurabilityManager(group_fs, group_commit=16))
+        group_fs.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    rows = [
+        ("in-memory only", baseline),
+        ("WAL, fsync per commit", sync),
+        ("WAL, group commit (16)", group),
+    ]
+    lines = ["configuration                  docs/sec   vs baseline"]
+    for name, elapsed in rows:
+        rate = N_DOCS / elapsed
+        lines.append(
+            f"{name:<30} {rate:>8.0f}   {elapsed / baseline:>10.2f}x"
+        )
+    write_result("wal_overhead", lines)
+
+    # Acceptance bar: durable ingest within 2x of in-memory-only.
+    assert group <= 2.0 * baseline, (
+        f"group-commit ingest {group:.3f}s exceeds 2x baseline "
+        f"{baseline:.3f}s"
+    )

@@ -196,13 +196,16 @@ def read_document(txt_path: str | Path) -> AnnotationDocument:
 def write_document(doc: AnnotationDocument, directory: str | Path) -> Path:
     """Write the ``<doc_id>.txt`` / ``<doc_id>.ann`` pair into ``directory``.
 
+    Both files are written atomically (temp file + fsync + rename), so
+    an interrupted export never leaves a half-written or empty file for
+    a reader to misparse as an empty annotation set.
+
     Returns the path of the text file.
     """
+    from repro.durability import atomic_write
+
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    txt_path = directory / f"{doc.doc_id}.txt"
-    txt_path.write_text(doc.text, encoding="utf-8")
-    (directory / f"{doc.doc_id}.ann").write_text(
-        serialize_ann(doc), encoding="utf-8"
-    )
+    txt_path = atomic_write(directory / f"{doc.doc_id}.txt", doc.text)
+    atomic_write(directory / f"{doc.doc_id}.ann", serialize_ann(doc))
     return txt_path

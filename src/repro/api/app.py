@@ -36,6 +36,7 @@ from repro.viz.svg import GraphStyle, render_graph_svg
 from repro.viz.timeline import render_timeline_svg
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.durability import DurabilityManager
     from repro.runtime.metrics import MetricsRegistry
 
 
@@ -67,6 +68,9 @@ class CreateApplication:
             ``/stats`` serves its counter/timer snapshot.
         runtime_stats: optional callable returning pipeline run
             counters (dead letters, failures) for ``/stats``.
+        durability: optional WAL manager; when present, every
+            report-mutating request seals its journaled ops into one
+            commit record, and ``/stats`` serves WAL/recovery health.
     """
 
     store: DocumentStore
@@ -77,6 +81,7 @@ class CreateApplication:
     validator: SchemaValidator = field(default_factory=SchemaValidator)
     metrics: "MetricsRegistry | None" = None
     runtime_stats: Callable[[], dict] | None = None
+    durability: "DurabilityManager | None" = None
 
     def __post_init__(self) -> None:
         self._annotations: dict[str, AnnotationDocument] = {}
@@ -133,22 +138,32 @@ class CreateApplication:
         """Store an already-extracted report and index it.
 
         Returns the stored ``_id``.
+
+        With a durability manager, the docstore insert, graph load and
+        keyword indexing land in one WAL commit record — recovery
+        either replays the whole document or none of it.  The commit
+        runs even when indexing fails partway so the log stays faithful
+        to the in-memory (dead-lettered) state.
         """
         self._suggester = None  # vocabulary changed
-        doc_id = self.store.collection("reports").insert_one(document)
-        if annotations is not None:
-            self._annotations[doc_id] = annotations
-            self.indexer.index_annotation_document(
-                doc_id, document.get("title", ""), annotations
-            )
-        else:
-            self.indexer.engine.index(
-                doc_id,
-                {
-                    "title": document.get("title", ""),
-                    "body": document.get("text", ""),
-                },
-            )
+        try:
+            doc_id = self.store.collection("reports").insert_one(document)
+            if annotations is not None:
+                self._annotations[doc_id] = annotations
+                self.indexer.index_annotation_document(
+                    doc_id, document.get("title", ""), annotations
+                )
+            else:
+                self.indexer.engine.index(
+                    doc_id,
+                    {
+                        "title": document.get("title", ""),
+                        "body": document.get("text", ""),
+                    },
+                )
+        finally:
+            if self.durability is not None:
+                self.durability.commit()
         return doc_id
 
     # -- handlers ------------------------------------------------------------------
@@ -283,6 +298,8 @@ class CreateApplication:
             self.indexer.graph.remove_node(node.node_id)
         self._annotations.pop(doc_id, None)
         self._suggester = None  # vocabulary changed
+        if self.durability is not None:
+            self.durability.commit()
         return Response(200, {"deleted": doc_id})
 
     def _search(self, body: Any, params: dict) -> Response:
@@ -327,6 +344,8 @@ class CreateApplication:
             payload["pipeline"] = self.runtime_stats()
         if self.metrics is not None:
             payload["metrics"] = self.metrics.snapshot()
+        if self.durability is not None:
+            payload["durability"] = self.durability.stats()
         return Response(200, payload)
 
     def _get_html(self, body: Any, params: dict, doc_id: str) -> Response:

@@ -56,14 +56,20 @@ def export_conll(
 ) -> int:
     """Write documents to one CoNLL file separated by ``-DOCSTART-``.
 
+    The file is written atomically (temp file + fsync + rename): a
+    crashed export leaves either the previous complete file or the new
+    one, never a truncated training set.
+
     Returns the number of documents written.
     """
+    from repro.durability import atomic_write
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     parts = []
     for doc in docs:
         parts.append(f"-DOCSTART- ({doc.doc_id})\n\n{to_conll(doc)}")
-    path.write_text("\n".join(parts), encoding="utf-8")
+    atomic_write(path, "\n".join(parts))
     return len(docs)
 
 

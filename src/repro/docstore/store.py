@@ -9,7 +9,6 @@ and JSONL persistence.
 from __future__ import annotations
 
 import copy
-import itertools
 import json
 from pathlib import Path
 from typing import Any, Iterable, Iterator
@@ -24,13 +23,20 @@ _UPDATE_OPERATORS = frozenset(
 
 
 class Collection:
-    """A named collection of JSON documents keyed by ``_id``."""
+    """A named collection of JSON documents keyed by ``_id``.
+
+    When ``journal`` is a list (set by the owning
+    :class:`DocumentStore` under a durability manager), every mutation
+    appends one replayable op dict to it — see
+    :class:`repro.durability.Durable`.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self._documents: dict[Any, dict] = {}
         self._indexes: dict[str, SecondaryIndex] = {}
-        self._id_counter = itertools.count(1)
+        self._id_seq = 0
+        self.journal: list | None = None
 
     # -- insert ---------------------------------------------------------------
 
@@ -56,6 +62,9 @@ class Collection:
         self._documents[doc_id] = stored
         for index in self._indexes.values():
             index.add(doc_id, stored)
+        self._log_op(
+            {"op": "insert", "c": self.name, "doc": copy.deepcopy(stored)}
+        )
         return doc_id
 
     def insert_many(self, documents: Iterable[dict]) -> list:
@@ -152,6 +161,13 @@ class Collection:
             stored["_id"] = doc_id
             self._documents[doc_id] = stored
             self._reindex(doc_id)
+            self._log_op(
+                {
+                    "op": "replace",
+                    "c": self.name,
+                    "doc": copy.deepcopy(stored),
+                }
+            )
             return 1
         return 0
 
@@ -189,11 +205,13 @@ class Collection:
         for doc_id, doc in self._documents.items():
             index.add(doc_id, doc)
         self._indexes[path] = index
+        self._log_op({"op": "create_index", "c": self.name, "path": path})
         return index
 
     def drop_index(self, path: str) -> None:
         """Remove an index (no-op when absent)."""
-        self._indexes.pop(path, None)
+        if self._indexes.pop(path, None) is not None:
+            self._log_op({"op": "drop_index", "c": self.name, "path": path})
 
     # -- persistence ----------------------------------------------------------------
 
@@ -227,9 +245,14 @@ class Collection:
 
     def _generate_id(self) -> str:
         while True:
-            candidate = f"{self.name}-{next(self._id_counter):08d}"
+            self._id_seq += 1
+            candidate = f"{self.name}-{self._id_seq:08d}"
             if candidate not in self._documents:
                 return candidate
+
+    def _log_op(self, op: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(op)
 
     def _candidates(self, query: dict) -> Iterator[dict]:
         """Iterate matching documents, using an index when one applies."""
@@ -278,6 +301,16 @@ class Collection:
             self._unindex(doc_id)
             _apply_update(self._documents[doc_id], update)
             self._reindex(doc_id)
+            # Journaled as a whole-document replace: replaying the
+            # post-state is idempotent where re-running operators
+            # ($inc, $push) would not be.
+            self._log_op(
+                {
+                    "op": "replace",
+                    "c": self.name,
+                    "doc": copy.deepcopy(self._documents[doc_id]),
+                }
+            )
             modified += 1
             if not many:
                 break
@@ -287,6 +320,7 @@ class Collection:
         doc = self._documents.pop(doc_id)
         for index in self._indexes.values():
             index.remove(doc_id, doc)
+        self._log_op({"op": "delete", "c": self.name, "id": doc_id})
 
     def _unindex(self, doc_id: Any) -> None:
         doc = self._documents[doc_id]
@@ -393,18 +427,35 @@ class DocumentStore:
 
     def __init__(self):
         self._collections: dict[str, Collection] = {}
+        self._journal: list | None = None
+
+    @property
+    def journal(self) -> list | None:
+        """Durability journal; assigning propagates to all collections."""
+        return self._journal
+
+    @journal.setter
+    def journal(self, value: list | None) -> None:
+        self._journal = value
+        for coll in self._collections.values():
+            coll.journal = value
 
     def collection(self, name: str) -> Collection:
         """Get or create a collection."""
         existing = self._collections.get(name)
         if existing is None:
             existing = Collection(name)
+            existing.journal = self._journal
             self._collections[name] = existing
+            if self._journal is not None:
+                self._journal.append({"op": "ensure", "c": name})
         return existing
 
     def drop_collection(self, name: str) -> None:
         """Delete a collection and its documents."""
-        self._collections.pop(name, None)
+        if self._collections.pop(name, None) is not None:
+            if self._journal is not None:
+                self._journal.append({"op": "drop_collection", "c": name})
 
     def collection_names(self) -> list[str]:
         """Sorted collection names."""
@@ -429,3 +480,58 @@ class DocumentStore:
         for path in sorted(directory.glob("*.jsonl")):
             store.collection(path.stem).load_jsonl(path)
         return store
+
+    # -- durability (repro.durability.Durable protocol) -----------------------
+
+    def durable_apply(self, op: dict) -> None:
+        """Replay one journaled op (journal suspended by the manager)."""
+        kind = op["op"]
+        if kind == "drop_collection":
+            self.drop_collection(op["c"])
+            return
+        coll = self.collection(op["c"])
+        if kind == "ensure":
+            return
+        if kind == "insert":
+            coll.insert_one(op["doc"])
+        elif kind == "replace":
+            doc = op["doc"]
+            if coll.get(doc["_id"]) is None:
+                coll.insert_one(doc)
+            else:
+                coll.replace_one({"_id": doc["_id"]}, doc)
+        elif kind == "delete":
+            coll.delete_one({"_id": op["id"]})
+        elif kind == "create_index":
+            coll.create_index(op["path"])
+        elif kind == "drop_index":
+            coll.drop_index(op["path"])
+        else:
+            raise DocumentStoreError(f"unknown journal op: {kind!r}")
+
+    def durable_snapshot(self) -> dict:
+        """JSON-shaped full state (documents, index paths, id seqs)."""
+        return {
+            "collections": {
+                name: {
+                    "documents": [
+                        copy.deepcopy(doc)
+                        for doc in coll._documents.values()
+                    ],
+                    "indexes": sorted(coll._indexes),
+                    "id_seq": coll._id_seq,
+                }
+                for name, coll in self._collections.items()
+            }
+        }
+
+    def durable_restore(self, state: dict) -> None:
+        """Replace this (empty) store's contents with a snapshot state."""
+        self._collections.clear()
+        for name, payload in state.get("collections", {}).items():
+            coll = self.collection(name)
+            for doc in payload.get("documents", ()):
+                coll.insert_one(doc)
+            for path in payload.get("indexes", ()):
+                coll.create_index(path)
+            coll._id_seq = int(payload.get("id_seq", 0))

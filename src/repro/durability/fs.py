@@ -1,0 +1,325 @@
+"""Filesystem abstraction, atomic writes, and deterministic faults.
+
+Durability code never touches ``os`` directly: it goes through a small
+filesystem interface (append / fsync / replace / truncate / read) with
+two implementations — :class:`OsFileSystem` over a real directory and
+:class:`MemFS`, an in-memory model that distinguishes *durable* bytes
+(survived an fsync) from *pending* bytes (sitting in the page cache).
+:class:`FaultInjector` wraps either one and executes a seed-driven
+fault plan: process crashes between or *inside* operations (torn
+writes keep a prefix of unsynced bytes, modeling partial page
+writeback), short writes, and injected IO errors on append/fsync/
+replace.  Everything is deterministic, so a single integer seed
+reproduces an exact crash schedule.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+from pathlib import Path
+
+
+class InjectedCrash(Exception):
+    """A simulated process kill from the fault injector.
+
+    Deliberately not a :class:`repro.exceptions.ReproError`: no
+    application-level handler may catch and "recover" from a process
+    death — only the test harness boundary does.
+    """
+
+
+def atomic_write(
+    path: str | Path, data: str | bytes, encoding: str = "utf-8"
+) -> Path:
+    """Write a file all-or-nothing: temp file + fsync + ``os.replace``.
+
+    An interrupted writer leaves either the complete old content or the
+    complete new content, never a partial file.
+
+    Returns the target path.
+    """
+    path = Path(path)
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def fs_write_atomic(fs, name: str, data: bytes) -> None:
+    """Atomic whole-file write through a durability filesystem.
+
+    Composed from primitives (append temp, fsync temp, replace) so a
+    fault injector sees — and can crash between — each step.
+    """
+    tmp = name + ".tmp"
+    fs.remove(tmp)
+    fs.append(tmp, data)
+    fs.fsync(tmp)
+    fs.replace(tmp, name)
+
+
+class OsFileSystem:
+    """Real files under a root directory, with cached append handles."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._handles: dict[str, object] = {}
+
+    def _path(self, name: str) -> Path:
+        return self.root / name
+
+    def append(self, name: str, data: bytes) -> None:
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = self._path(name).open("ab")
+            self._handles[name] = handle
+        handle.write(data)
+
+    def fsync(self, name: str) -> None:
+        handle = self._handles.get(name)
+        if handle is None:
+            return
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def read_bytes(self, name: str) -> bytes:
+        self._drop_handle(name, flush=True)
+        path = self._path(name)
+        if not path.exists():
+            raise FileNotFoundError(name)
+        return path.read_bytes()
+
+    def exists(self, name: str) -> bool:
+        handle = self._handles.get(name)
+        if handle is not None:
+            handle.flush()
+        return self._path(name).exists()
+
+    def replace(self, src: str, dst: str) -> None:
+        self._drop_handle(src, flush=True)
+        self._drop_handle(dst, flush=False)
+        os.replace(self._path(src), self._path(dst))
+
+    def truncate(self, name: str, length: int) -> None:
+        self._drop_handle(name, flush=True)
+        os.truncate(self._path(name), length)
+
+    def remove(self, name: str) -> None:
+        self._drop_handle(name, flush=False)
+        try:
+            os.unlink(self._path(name))
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        for name in list(self._handles):
+            self._drop_handle(name, flush=True)
+
+    def _drop_handle(self, name: str, flush: bool) -> None:
+        handle = self._handles.pop(name, None)
+        if handle is None:
+            return
+        if flush:
+            handle.flush()
+        handle.close()
+
+
+class MemFS:
+    """In-memory filesystem modeling the durable/page-cache split.
+
+    ``append`` lands in *pending* (the page cache); ``fsync`` promotes
+    pending bytes to *durable*.  :meth:`apply_crash` simulates a power
+    cut: every file keeps its durable bytes plus an arbitrary (caller-
+    chosen) prefix of its pending bytes — unsynced data may partially
+    survive via background writeback, exactly the window a torn-tail
+    WAL scan must handle.
+    """
+
+    def __init__(self):
+        self._durable: dict[str, bytes] = {}
+        self._pending: dict[str, bytes] = {}
+
+    def append(self, name: str, data: bytes) -> None:
+        if name not in self._durable and name not in self._pending:
+            self._pending[name] = b""
+        self._pending[name] = self._pending.get(name, b"") + data
+
+    def fsync(self, name: str) -> None:
+        pending = self._pending.pop(name, None)
+        if pending is not None:
+            self._durable[name] = self._durable.get(name, b"") + pending
+
+    def read_bytes(self, name: str) -> bytes:
+        if name not in self._durable and name not in self._pending:
+            raise FileNotFoundError(name)
+        return self._durable.get(name, b"") + self._pending.get(name, b"")
+
+    def exists(self, name: str) -> bool:
+        return name in self._durable or name in self._pending
+
+    def replace(self, src: str, dst: str) -> None:
+        if not self.exists(src):
+            raise FileNotFoundError(src)
+        content = self.read_bytes(src)
+        # Rename is journaled/atomic; callers fsync src beforehand, so
+        # the renamed content is durable.
+        self._durable[dst] = content
+        self._pending.pop(dst, None)
+        self._durable.pop(src, None)
+        self._pending.pop(src, None)
+
+    def truncate(self, name: str, length: int) -> None:
+        content = self.read_bytes(name)[:length]
+        self._durable[name] = content
+        self._pending.pop(name, None)
+
+    def remove(self, name: str) -> None:
+        self._durable.pop(name, None)
+        self._pending.pop(name, None)
+
+    def apply_crash(self, keep_pending) -> None:
+        """Simulate a power cut.
+
+        Args:
+            keep_pending: callable ``(name, pending_bytes) -> int``
+                giving how many pending bytes of each file survive.
+        """
+        for name, pending in sorted(self._pending.items()):
+            kept = max(0, min(len(pending), int(keep_pending(name, pending))))
+            if kept:
+                self._durable[name] = (
+                    self._durable.get(name, b"") + pending[:kept]
+                )
+            elif name not in self._durable:
+                # The file was created but nothing ever hit the disk.
+                continue
+        self._pending.clear()
+
+
+class FaultInjector:
+    """Deterministic fault schedule over a durability filesystem.
+
+    Counts mutating operations (append / fsync / replace / truncate)
+    and fires the planned fault when the counter reaches ``at_op``:
+
+    * ``"crash"`` — discard all pending bytes, raise InjectedCrash.
+    * ``"torn"`` — an append writes a prefix of its data, then a crash
+      keeps a seed-chosen prefix of every file's pending bytes.
+    * ``"io_append"`` — short write: a prefix lands in the cache and
+      the call raises ``OSError``.
+    * ``"io_fsync"`` — the kernel lost the write: pending bytes are
+      dropped and fsync raises ``OSError`` (fsyncgate semantics — the
+      caller must not retry and must treat the commit as failed).
+    * ``"io_replace"`` — the rename fails, target left untouched.
+
+    Args:
+        fs: the wrapped :class:`MemFS` (crash modes require it).
+        kind / at_op: fault kind and the 0-based op index to fire at.
+        seed: drives torn-prefix lengths.
+    """
+
+    CRASH_KINDS = ("crash", "torn")
+    ERROR_KINDS = ("io_append", "io_fsync", "io_replace")
+
+    def __init__(
+        self,
+        fs: MemFS,
+        kind: str | None = None,
+        at_op: int | None = None,
+        seed: int = 0,
+    ):
+        self.fs = fs
+        self.kind = kind
+        self.at_op = at_op
+        self.ops = 0
+        self.fired = False
+        self._rng = random.Random(seed)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def read_bytes(self, name: str) -> bytes:
+        return self.fs.read_bytes(name)
+
+    def exists(self, name: str) -> bool:
+        return self.fs.exists(name)
+
+    def remove(self, name: str) -> None:
+        self.fs.remove(name)
+
+    # -- faultable operations ----------------------------------------------
+
+    def _due(self) -> bool:
+        due = (
+            not self.fired
+            and self.at_op is not None
+            and self.ops >= self.at_op
+        )
+        self.ops += 1
+        return due
+
+    def _crash(self) -> None:
+        self.fired = True
+        if self.kind == "torn":
+            self.fs.apply_crash(
+                lambda _name, pending: self._rng.randint(0, len(pending))
+            )
+        else:
+            self.fs.apply_crash(lambda _name, _pending: 0)
+        raise InjectedCrash(f"injected {self.kind} at op {self.ops - 1}")
+
+    def append(self, name: str, data: bytes) -> None:
+        if self._due():
+            if self.kind in self.CRASH_KINDS:
+                if self.kind == "torn" and data:
+                    self.fs.append(
+                        name, data[: self._rng.randint(0, len(data))]
+                    )
+                self._crash()
+            if self.kind == "io_append":
+                self.fired = True
+                if data:
+                    self.fs.append(
+                        name, data[: self._rng.randint(0, len(data) - 1)]
+                    )
+                raise OSError(f"injected short write on {name}")
+        self.fs.append(name, data)
+
+    def fsync(self, name: str) -> None:
+        if self._due():
+            if self.kind in self.CRASH_KINDS:
+                self._crash()
+            if self.kind == "io_fsync":
+                self.fired = True
+                self.fs._pending.pop(name, None)
+                raise OSError(f"injected fsync failure on {name}")
+        self.fs.fsync(name)
+
+    def replace(self, src: str, dst: str) -> None:
+        if self._due():
+            if self.kind in self.CRASH_KINDS:
+                self._crash()
+            if self.kind == "io_replace":
+                self.fired = True
+                raise OSError(f"injected rename failure {src} -> {dst}")
+        self.fs.replace(src, dst)
+
+    def truncate(self, name: str, length: int) -> None:
+        if self._due() and self.kind in self.CRASH_KINDS:
+            self._crash()
+        self.fs.truncate(name, length)

@@ -88,6 +88,15 @@ class StageFailure(ReproError):
         )
 
 
+class DurabilityError(ReproError):
+    """The write-ahead log or snapshot machinery failed.
+
+    Raised for failed flushes (the commit was *not* acknowledged),
+    corrupt snapshots, and attempts to commit through a manager that
+    has been poisoned by an earlier disk error.
+    """
+
+
 class CrawlError(ReproError):
     """The crawler could not fetch or process a URL."""
 

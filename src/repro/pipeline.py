@@ -23,6 +23,7 @@ from repro.corpus.pubmed import build_corpus
 from repro.crawler.crawler import Crawler, CrawlResult
 from repro.crawler.repository import SyntheticPubMed
 from repro.docstore.store import DocumentStore
+from repro.durability import DurabilityManager, RecoveryReport
 from repro.exceptions import (
     ParseError,
     PipelineError,
@@ -339,6 +340,11 @@ class CreatePipeline:
             or ``"process"`` (sidesteps the GIL for CPU-bound
             extraction on multi-core hosts).
         parse_retries: bounded retries for transient Grobid errors.
+        durability: optional WAL/snapshot manager.  When set, the
+            docstore, property graph, and keyword index are attached to
+            it, every registered report commits as one atomic WAL
+            record, and :meth:`recover` rebuilds all three stores from
+            disk after a crash.
     """
 
     extractor: ClinicalExtractor
@@ -350,6 +356,7 @@ class CreatePipeline:
     parse_retries: int = 2
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: SpanTracer = field(default_factory=SpanTracer)
+    durability: DurabilityManager | None = None
 
     def __post_init__(self) -> None:
         self.indexer = CreateIrIndexer()
@@ -358,6 +365,13 @@ class CreatePipeline:
         self.searcher = CreateIrSearcher(
             self.indexer, parser=parser, metrics=self.metrics
         )
+        if self.durability is not None:
+            # Attach order is replay order; all three stores recover
+            # together so a document is either fully visible everywhere
+            # or absent everywhere.
+            self.durability.attach("docstore", self.store)
+            self.durability.attach("graph", self.indexer.graph)
+            self.durability.attach("index", self.indexer.engine)
         self.app = CreateApplication(
             store=self.store,
             indexer=self.indexer,
@@ -366,7 +380,19 @@ class CreatePipeline:
             extractor=self.extractor.extract,
             metrics=self.metrics,
             runtime_stats=lambda: self.stats.as_dict(),
+            durability=self.durability,
         )
+
+    def recover(self) -> RecoveryReport:
+        """Rebuild the docstore, graph, and keyword index from the
+        durability manager's snapshot + WAL.
+
+        Raises:
+            PipelineError: the pipeline has no durability manager.
+        """
+        if self.durability is None:
+            raise PipelineError("pipeline has no durability manager")
+        return self.durability.recover()
 
     def ingest_from_site(
         self,
@@ -514,6 +540,10 @@ class CreatePipeline:
                 continue
             self.stats.indexed += 1
             self.metrics.increment("pipeline.indexed")
+        if self.durability is not None:
+            # Drain any group-commit remainder: every indexed document
+            # must be acknowledged (fsynced) before the stage returns.
+            self.durability.flush()
         self.stats.contradiction_skips += (
             self.indexer.contradiction_skips - skips_before
         )

@@ -11,6 +11,12 @@ Run it with ``python -m repro.testing --cases 500 --seed 0``; failures
 shrink to minimal reproducers saved in a replayable seed file.
 """
 
+from repro.testing.crash import (
+    apply_action,
+    canonical_state,
+    check_durability_case,
+    visible_doc_ids,
+)
 from repro.testing.differential import (
     CHECKERS,
     GENERATORS,
@@ -38,10 +44,14 @@ __all__ = [
     "Failure",
     "RunReport",
     "ReferenceSearchEngine",
+    "apply_action",
     "brute_force_bindings",
+    "canonical_state",
     "case_rng",
     "check_case",
+    "check_durability_case",
     "derive_seed",
+    "visible_doc_ids",
     "exhaustive_decode",
     "generate_case",
     "reference_closure",

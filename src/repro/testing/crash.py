@@ -1,0 +1,384 @@
+"""Crash-recovery fuzzing: injected faults vs. a brute-force oracle.
+
+One generated case is a short ingest/delete workload over the three
+stores (docstore, property graph, keyword index) run under a
+:class:`~repro.durability.DurabilityManager`, with one deterministic
+fault injected somewhere in the filesystem operation stream.  The
+checker then recovers from the surviving bytes and verifies the
+durability contract:
+
+* **Prefix consistency** — the recovered state equals the state an
+  oracle reaches after some *whole* prefix of the workload.  Never a
+  partial document, never a reordering.
+* **No lost acknowledgements** — that prefix covers at least every
+  action whose commit LSN was acknowledged (≤ ``durable_lsn``) before
+  the fault.  Recovered state may legitimately be *ahead* of the
+  acknowledged prefix: un-fsynced complete records can survive a
+  crash via page-cache writeback, and that is allowed — losing an
+  acknowledged write is not.
+* **Tripartite atomicity** — after recovery, exactly the same document
+  ids are visible in the docstore, the graph, and the keyword index.
+* **Continuation** — re-running the remaining actions on the recovered
+  system converges to the same final state as a run that never
+  crashed.
+
+Fault-free cases double as a snapshot+WAL equivalence check: the live
+in-memory state, the recovered state, and the oracle must all agree.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.docstore.store import DocumentStore
+from repro.durability import DurabilityManager, FaultInjector, InjectedCrash, MemFS
+from repro.exceptions import DurabilityError
+from repro.graphdb.graph import PropertyGraph
+from repro.search.engine import SearchEngine
+
+FAULT_KINDS = FaultInjector.CRASH_KINDS + FaultInjector.ERROR_KINDS
+
+
+def _fresh_stores() -> tuple[DocumentStore, PropertyGraph, SearchEngine]:
+    return DocumentStore(), PropertyGraph(), SearchEngine()
+
+
+def apply_action(
+    store: DocumentStore,
+    graph: PropertyGraph,
+    engine: SearchEngine,
+    action: dict,
+) -> None:
+    """Apply one workload action to all three stores (memory only).
+
+    Mirrors what ``CreateApplication.register_report`` does: the
+    document lands in the docstore, its report/entity subgraph in the
+    graph, and its text fields in the keyword index.
+    """
+    doc_id = action["id"]
+    if action["act"] == "ingest":
+        store.collection("reports").insert_one(
+            {
+                "_id": doc_id,
+                "title": action["title"],
+                "text": action["body"],
+                "category": action["category"],
+            }
+        )
+        graph.add_node(doc_id, entityType="Report", label=action["title"])
+        span_ids = []
+        for k, (entity_type, label) in enumerate(action["spans"]):
+            span_id = f"{doc_id}:T{k + 1}"
+            graph.add_node(span_id, entityType=entity_type, label=label)
+            graph.add_edge(doc_id, span_id, "HAS_ENTITY")
+            span_ids.append(span_id)
+        for src, dst, label in action["relations"]:
+            graph.add_edge(span_ids[src], span_ids[dst], label)
+        engine.index(
+            doc_id, {"title": action["title"], "body": action["body"]}
+        )
+    else:  # delete
+        store.collection("reports").delete_one({"_id": doc_id})
+        if graph.has_node(doc_id):
+            for edge in graph.out_edges(doc_id, "HAS_ENTITY"):
+                graph.remove_node(edge.target)
+            graph.remove_node(doc_id)
+        engine.delete(doc_id)
+
+
+def _engine_state(engine: SearchEngine) -> dict:
+    """Scoring-relevant index statistics keyed by *document id*.
+
+    Internal ordinals are allocator values: two histories that differ
+    only by an index-then-delete pair reach semantically identical
+    states with different ordinal assignments, so canonical equality
+    must translate every posting back to its document id.
+    """
+    fields = {}
+    for field_name in sorted(engine._indexes):
+        index = engine._indexes[field_name]
+        if index.n_documents == 0 and index.vocabulary_size == 0:
+            continue
+        fields[field_name] = {
+            "postings": {
+                term: sorted(
+                    [
+                        str(engine._ids_by_ordinal[posting.doc_ord]),
+                        list(posting.positions),
+                    ]
+                    for posting in plist
+                )
+                for term, plist in index._postings.items()
+            },
+            "doc_lengths": sorted(
+                [str(engine._ids_by_ordinal[doc_ord]), length]
+                for doc_ord, length in index._doc_lengths.items()
+            ),
+            "total_length": index._total_length,
+        }
+    return fields
+
+
+def canonical_state(
+    store: DocumentStore, graph: PropertyGraph, engine: SearchEngine
+) -> str:
+    """Identity-free canonical rendering of the tripartite state.
+
+    Graph edge ids and engine ordinals are excluded (allocator values,
+    not semantics); everything that influences query results or BM25
+    scoring is included.
+    """
+    collections = {}
+    for name in store.collection_names():
+        docs = sorted(
+            json.dumps(doc, sort_keys=True, default=str)
+            for doc in store.collection(name)
+        )
+        collections[name] = docs
+    payload = {
+        "docstore": collections,
+        "graph": {
+            "nodes": sorted(
+                [node.node_id, sorted(node.properties.items())]
+                for node in graph.nodes()
+            ),
+            "edges": sorted(
+                [
+                    edge.source,
+                    edge.target,
+                    edge.label,
+                    sorted(edge.properties.items()),
+                ]
+                for edge in graph.edges()
+            ),
+        },
+        "engine": _engine_state(engine),
+    }
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def visible_doc_ids(
+    store: DocumentStore, graph: PropertyGraph, engine: SearchEngine
+) -> tuple[set, set, set]:
+    """Document ids visible in each of the three stores."""
+    doc_ids = {doc["_id"] for doc in store.collection("reports")}
+    graph_ids = {
+        node.node_id
+        for node in graph.nodes()
+        if node.get("entityType") == "Report"
+    }
+    engine_ids = {
+        hit.doc_id
+        for hit in engine.search({"match_all": {}}, size=1_000_000)
+    }
+    return doc_ids, graph_ids, engine_ids
+
+
+def _valid_case(case: dict) -> bool:
+    """Structural validation; shrunk cases may violate any of this."""
+    if not isinstance(case, dict):
+        return False
+    group_commit = case.get("group_commit")
+    if not isinstance(group_commit, int) or group_commit < 1:
+        return False
+    snapshot_every = case.get("snapshot_every")
+    if snapshot_every is not None and (
+        not isinstance(snapshot_every, int) or snapshot_every < 1
+    ):
+        return False
+    actions = case.get("actions")
+    if not isinstance(actions, list):
+        return False
+    ingested = set()
+    for action in actions:
+        if not isinstance(action, dict):
+            return False
+        kind = action.get("act")
+        if kind == "ingest":
+            doc_id = action.get("id")
+            if not isinstance(doc_id, str) or doc_id in ingested:
+                return False
+            ingested.add(doc_id)
+            if not all(
+                isinstance(action.get(key), str)
+                for key in ("title", "body", "category")
+            ):
+                return False
+            spans = action.get("spans")
+            if not isinstance(spans, list) or not all(
+                isinstance(span, list)
+                and len(span) == 2
+                and all(isinstance(part, str) for part in span)
+                for span in spans
+            ):
+                return False
+            relations = action.get("relations")
+            if not isinstance(relations, list):
+                return False
+            for relation in relations:
+                if not isinstance(relation, list) or len(relation) != 3:
+                    return False
+                src, dst, label = relation
+                if not (
+                    isinstance(src, int)
+                    and isinstance(dst, int)
+                    and isinstance(label, str)
+                    and 0 <= src < len(spans)
+                    and 0 <= dst < len(spans)
+                ):
+                    return False
+        elif kind == "delete":
+            if not isinstance(action.get("id"), str):
+                return False
+        else:
+            return False
+    fault = case.get("fault")
+    if fault is not None:
+        if not isinstance(fault, dict):
+            return False
+        if fault.get("kind") not in FAULT_KINDS:
+            return False
+        if not isinstance(fault.get("at_op"), int) or fault["at_op"] < 0:
+            return False
+        if not isinstance(fault.get("seed"), int):
+            return False
+    return True
+
+
+def _oracle_states(actions: list[dict]) -> list[str]:
+    """``states[j]`` = canonical state after the first ``j`` actions,
+    computed on plain in-memory stores with no durability at all."""
+    store, graph, engine = _fresh_stores()
+    states = [canonical_state(store, graph, engine)]
+    for action in actions:
+        apply_action(store, graph, engine, action)
+        states.append(canonical_state(store, graph, engine))
+    return states
+
+
+def check_durability_case(case: dict) -> str | None:
+    """Run one crash schedule end to end; ``None`` means the contract
+    held (or the case was structurally malformed — vacuous)."""
+    if not _valid_case(case):
+        return None
+    actions = case["actions"]
+    fault = case["fault"]
+    oracle = _oracle_states(actions)
+
+    mem = MemFS()
+    if fault is not None:
+        fs = FaultInjector(
+            mem,
+            kind=fault["kind"],
+            at_op=fault["at_op"],
+            seed=fault["seed"],
+        )
+    else:
+        fs = mem
+    store, graph, engine = _fresh_stores()
+    manager = DurabilityManager(
+        fs,
+        group_commit=case["group_commit"],
+        snapshot_every=case["snapshot_every"],
+    )
+    manager.attach("docstore", store)
+    manager.attach("graph", graph)
+    manager.attach("index", engine)
+
+    applied = 0  # actions whose memory mutation completed
+    action_lsns: list[int | None] = []  # lsn per *committed* action
+    crashed = False
+    try:
+        for action in actions:
+            apply_action(store, graph, engine, action)
+            applied += 1
+            action_lsns.append(manager.commit())
+        manager.flush()
+    except (InjectedCrash, DurabilityError, OSError):
+        crashed = True
+
+    # Acknowledged prefix: the longest run of leading actions whose
+    # commits were fsynced (no-op actions — lsn None — ride along).
+    acked = 0
+    for lsn in action_lsns:
+        if lsn is not None and lsn > manager.durable_lsn:
+            break
+        acked += 1
+
+    # Recover from the surviving bytes with a fault-free filesystem.
+    recovered_store, recovered_graph, recovered_engine = _fresh_stores()
+    recovery = DurabilityManager(
+        mem, group_commit=1, snapshot_every=case["snapshot_every"]
+    )
+    recovery.attach("docstore", recovered_store)
+    recovery.attach("graph", recovered_graph)
+    recovery.attach("index", recovered_engine)
+    try:
+        recovery.recover()
+    except DurabilityError as exc:
+        return f"recovery failed after {'crash' if crashed else 'clean run'}: {exc}"
+    recovered = canonical_state(
+        recovered_store, recovered_graph, recovered_engine
+    )
+
+    # Tripartite atomicity: same ids everywhere, no partial documents.
+    doc_ids, graph_ids, engine_ids = visible_doc_ids(
+        recovered_store, recovered_graph, recovered_engine
+    )
+    if not (doc_ids == graph_ids == engine_ids):
+        return (
+            "recovered stores disagree on visible documents: "
+            f"docstore {sorted(doc_ids)}, graph {sorted(graph_ids)}, "
+            f"index {sorted(engine_ids)}"
+        )
+
+    # Prefix consistency + no lost acknowledgements.
+    matched = [
+        j for j in range(applied + 1) if oracle[j] == recovered
+    ]
+    if not matched:
+        return (
+            f"recovered state matches no action prefix "
+            f"(crashed={crashed}, applied={applied}, acked={acked})"
+        )
+    resume_from = max(matched)
+    if resume_from < acked:
+        return (
+            f"acknowledged writes lost: recovered to prefix "
+            f"{resume_from} but {acked} actions were acknowledged "
+            f"(durable_lsn={manager.durable_lsn})"
+        )
+
+    # Continuation: finish the workload on the recovered system.
+    for action in actions[resume_from:]:
+        apply_action(
+            recovered_store, recovered_graph, recovered_engine, action
+        )
+        recovery.commit()
+    recovery.flush()
+    final = canonical_state(
+        recovered_store, recovered_graph, recovered_engine
+    )
+    if final != oracle[-1]:
+        return (
+            f"continuation after recovery from prefix {resume_from} "
+            "diverged from the oracle's final state"
+        )
+
+    if not crashed:
+        # Fault-free (or fault never fired): live memory, recovered
+        # state, and oracle must all be the complete workload.
+        live = canonical_state(store, graph, engine)
+        if live != oracle[-1]:
+            return "fault-free live state diverged from the oracle"
+        if recovered != oracle[-1]:
+            return (
+                "fault-free recovery (snapshot + WAL replay) diverged "
+                "from the in-memory state"
+            )
+        if acked != len(actions):
+            return (
+                f"fault-free run acknowledged only {acked} of "
+                f"{len(actions)} actions"
+            )
+    return None

@@ -32,6 +32,7 @@ from repro.search.engine import SearchEngine
 from repro.temporal.graph import TemporalGraph
 from repro.temporal.relations import DENSE_ALGEBRA, THREE_WAY_ALGEBRA
 from repro.testing import generators
+from repro.testing.crash import check_durability_case
 from repro.testing.invariants import check_invariants_case
 from repro.testing.oracles import (
     ANALYZER_CONFIGS,
@@ -42,7 +43,14 @@ from repro.testing.oracles import (
 )
 from repro.testing.rng import case_rng
 
-SUBSYSTEMS = ("search", "graph", "crf", "temporal", "invariants")
+SUBSYSTEMS = (
+    "search",
+    "graph",
+    "crf",
+    "temporal",
+    "invariants",
+    "durability",
+)
 
 _TOLERANCE = 1e-8
 
@@ -306,6 +314,7 @@ GENERATORS = {
     "crf": generators.gen_crf_case,
     "temporal": generators.gen_temporal_case,
     "invariants": generators.gen_invariants_case,
+    "durability": generators.gen_durability_case,
 }
 
 CHECKERS = {
@@ -314,6 +323,7 @@ CHECKERS = {
     "crf": check_crf_case,
     "temporal": check_temporal_case,
     "invariants": check_invariants_case,
+    "durability": check_durability_case,
 }
 
 

@@ -266,3 +266,66 @@ def gen_invariants_case(rng: Random) -> dict:
         "fusion": gen_fusion_case(rng),
         "shuffle_seed": rng.randint(0, 2**31),
     }
+
+
+# -- durability / crash recovery ---------------------------------------------
+
+_DURABILITY_FAULTS = ["crash", "torn", "io_append", "io_fsync", "io_replace"]
+
+_CATEGORIES = ["cardiovascular", "neurological", "infectious"]
+
+
+def gen_durability_case(rng: Random) -> dict:
+    """An ingest/delete workload plus one planned fault.
+
+    Ids are unique per case (``d0``, ``d1``, ...); deletes only target
+    previously ingested documents.  ``fault: None`` (~1 in 5) makes the
+    case a fault-free snapshot+WAL equivalence check; ``at_op`` indexes
+    into the stream of filesystem operations, so the same workload gets
+    crashed at many different WAL/snapshot boundaries across cases.
+    """
+    actions = []
+    live: list[str] = []
+    for i in range(rng.randint(1, 8)):
+        if live and rng.random() < 0.25:
+            victim = rng.choice(live)
+            live.remove(victim)
+            actions.append({"act": "delete", "id": victim})
+            continue
+        doc_id = f"d{i}"
+        spans = [
+            [rng.choice(_NODE_TYPES), gen_text(rng, 2, 1)]
+            for _ in range(rng.randint(0, 3))
+        ]
+        relations = []
+        if len(spans) >= 2:
+            for _ in range(rng.randint(0, 2)):
+                src = rng.randrange(len(spans))
+                dst = rng.randrange(len(spans))
+                if src != dst:
+                    relations.append([src, dst, rng.choice(_EDGE_LABELS)])
+        actions.append(
+            {
+                "act": "ingest",
+                "id": doc_id,
+                "title": gen_text(rng, 3, 1),
+                "body": gen_text(rng, 8, 1),
+                "category": rng.choice(_CATEGORIES),
+                "spans": spans,
+                "relations": relations,
+            }
+        )
+        live.append(doc_id)
+    fault = None
+    if rng.random() < 0.8:
+        fault = {
+            "kind": rng.choice(_DURABILITY_FAULTS),
+            "at_op": rng.randint(0, 30),
+            "seed": rng.randint(0, 2**31),
+        }
+    return {
+        "group_commit": rng.choice([1, 1, 2, 3, 4]),
+        "snapshot_every": rng.choice([None, None, 2, 3, 5]),
+        "actions": actions,
+        "fault": fault,
+    }

@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 import time
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.corpus.pubmed import build_corpus
 from repro.crawler.repository import SyntheticPubMed
@@ -122,6 +122,17 @@ def test_parallel_ingest_throughput_and_determinism(trained_extractor):
             f"index {index_timer['p50'] * 1000:.1f}/"
             f"{index_timer['p99'] * 1000:.1f}",
         ],
+    )
+
+    write_json_result(
+        "pipeline_parallel",
+        {
+            "parallel_docs_per_sec": {
+                "value": parallel_tp,
+                "direction": "higher",
+            },
+            "parallel_speedup": {"value": speedup, "direction": "higher"},
+        },
     )
 
     assert serial_stats.indexed == N_DOCS

@@ -14,7 +14,7 @@ import shutil
 import tempfile
 import time
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.docstore.store import DocumentStore
 from repro.durability import DurabilityManager, OsFileSystem
@@ -77,6 +77,19 @@ def test_wal_overhead(ir_corpus):
             f"{name:<30} {rate:>8.0f}   {elapsed / baseline:>10.2f}x"
         )
     write_result("wal_overhead", lines)
+    write_json_result(
+        "wal_overhead",
+        {
+            "group_commit_docs_per_sec": {
+                "value": N_DOCS / group,
+                "direction": "higher",
+            },
+            "group_commit_overhead": {
+                "value": group / baseline,
+                "direction": "lower",
+            },
+        },
+    )
 
     # Acceptance bar: durable ingest within 2x of in-memory-only.
     assert group <= 2.0 * baseline, (

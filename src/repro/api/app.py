@@ -68,6 +68,9 @@ class CreateApplication:
             ``/stats`` serves its counter/timer snapshot.
         runtime_stats: optional callable returning pipeline run
             counters (dead letters, failures) for ``/stats``.
+        serving_stats: optional callable returning the sharded serving
+            layer's health (shards, epochs, cache hit rates) for
+            ``/stats``.
         durability: optional WAL manager; when present, every
             report-mutating request seals its journaled ops into one
             commit record, and ``/stats`` serves WAL/recovery health.
@@ -81,6 +84,7 @@ class CreateApplication:
     validator: SchemaValidator = field(default_factory=SchemaValidator)
     metrics: "MetricsRegistry | None" = None
     runtime_stats: Callable[[], dict] | None = None
+    serving_stats: Callable[[], dict] | None = None
     durability: "DurabilityManager | None" = None
 
     def __post_init__(self) -> None:
@@ -342,6 +346,8 @@ class CreateApplication:
         }
         if self.runtime_stats is not None:
             payload["pipeline"] = self.runtime_stats()
+        if self.serving_stats is not None:
+            payload["serving"] = self.serving_stats()
         if self.metrics is not None:
             payload["metrics"] = self.metrics.snapshot()
         if self.durability is not None:

@@ -42,6 +42,7 @@ from repro.runtime.executor import BatchExecutor
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.tracing import SpanTracer
 from repro.schema.types import is_event_label
+from repro.serving import ShardedIrIndexer, ShardedIrSearcher
 from repro.temporal.classifier import TemporalClassifier
 from repro.temporal.global_inference import global_inference
 from repro.temporal.psl import PslConfig, fit_with_psl
@@ -340,11 +341,18 @@ class CreatePipeline:
             or ``"process"`` (sidesteps the GIL for CPU-bound
             extraction on multi-core hosts).
         parse_retries: bounded retries for transient Grobid errors.
+        serving_shards: partition the dual index across this many
+            shards and serve queries as parallel per-shard fan-out
+            (0 = the classic unsharded engines).  Results are exactly
+            rank-equivalent to the unsharded configuration.
+        query_cache_size: entries in each serving-layer query cache
+            (epoch-invalidated; only used when ``serving_shards`` >= 1).
         durability: optional WAL/snapshot manager.  When set, the
             docstore, property graph, and keyword index are attached to
             it, every registered report commits as one atomic WAL
             record, and :meth:`recover` rebuilds all three stores from
-            disk after a crash.
+            disk after a crash.  Sharded serving participates through
+            its facades: one WAL record still carries a whole document.
     """
 
     extractor: ClinicalExtractor
@@ -354,21 +362,39 @@ class CreatePipeline:
     workers: int = 1
     executor_mode: str = "thread"
     parse_retries: int = 2
+    serving_shards: int = 0
+    query_cache_size: int = 256
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: SpanTracer = field(default_factory=SpanTracer)
     durability: DurabilityManager | None = None
 
     def __post_init__(self) -> None:
-        self.indexer = CreateIrIndexer()
-        self.indexer.engine.metrics = self.metrics
         parser = QueryParser(self.extractor.ner, self.extractor.temporal)
-        self.searcher = CreateIrSearcher(
-            self.indexer, parser=parser, metrics=self.metrics
-        )
+        serving_stats = None
+        if self.serving_shards >= 1:
+            self.indexer = ShardedIrIndexer(
+                self.serving_shards,
+                cache_size=self.query_cache_size,
+                metrics=self.metrics,
+            )
+            self.searcher = ShardedIrSearcher(
+                self.indexer,
+                parser=parser,
+                metrics=self.metrics,
+                cache_size=self.query_cache_size,
+            )
+            serving_stats = self._serving_stats
+        else:
+            self.indexer = CreateIrIndexer()
+            self.indexer.engine.metrics = self.metrics
+            self.searcher = CreateIrSearcher(
+                self.indexer, parser=parser, metrics=self.metrics
+            )
         if self.durability is not None:
             # Attach order is replay order; all three stores recover
             # together so a document is either fully visible everywhere
-            # or absent everywhere.
+            # or absent everywhere.  The sharded facades speak the same
+            # Durable protocol (ops tagged with their shard).
             self.durability.attach("docstore", self.store)
             self.durability.attach("graph", self.indexer.graph)
             self.durability.attach("index", self.indexer.engine)
@@ -380,8 +406,17 @@ class CreatePipeline:
             extractor=self.extractor.extract,
             metrics=self.metrics,
             runtime_stats=lambda: self.stats.as_dict(),
+            serving_stats=serving_stats,
             durability=self.durability,
         )
+
+    def _serving_stats(self) -> dict:
+        """The ``/stats`` serving section (sharded configuration only)."""
+        payload = self.indexer.serving_stats()
+        ir_cache = self.searcher.cache_stats()
+        if ir_cache is not None:
+            payload["ir_cache"] = ir_cache
+        return payload
 
     def recover(self) -> RecoveryReport:
         """Rebuild the docstore, graph, and keyword index from the

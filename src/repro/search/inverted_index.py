@@ -95,6 +95,11 @@ class InvertedIndex:
         return len(self._doc_lengths)
 
     @property
+    def total_length(self) -> int:
+        """Sum of all document token counts (for cross-shard avgdl)."""
+        return self._total_length
+
+    @property
     def average_length(self) -> float:
         if not self._doc_lengths:
             return 0.0

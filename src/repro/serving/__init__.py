@@ -1,0 +1,18 @@
+"""Sharded query serving: partitioned indexes, parallel fan-out
+search with exact top-k merge, and an invalidation-correct query
+cache."""
+
+from repro.serving.cache import QueryCache
+from repro.serving.engine import ShardedSearchEngine
+from repro.serving.graph import ShardedPropertyGraph
+from repro.serving.ir import ShardedIrIndexer, ShardedIrSearcher
+from repro.serving.router import ShardRouter
+
+__all__ = [
+    "QueryCache",
+    "ShardRouter",
+    "ShardedIrIndexer",
+    "ShardedIrSearcher",
+    "ShardedPropertyGraph",
+    "ShardedSearchEngine",
+]

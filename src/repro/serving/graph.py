@@ -1,0 +1,217 @@
+"""Sharded property graph: N independent partitions, one facade.
+
+Case-report knowledge graphs are naturally partitionable: every node
+carries a ``doc_id`` property and every edge connects spans of the
+same report, so routing nodes by doc-id hash yields fully independent
+per-shard subgraphs.  The facade presents the whole corpus with the
+:class:`~repro.graphdb.graph.PropertyGraph` read API (merged,
+deterministic ordering) while indexing writes go straight to shard
+graphs through the per-shard :class:`~repro.ir.indexer.CreateIrIndexer`
+instances that own them.
+
+Mutations bump the owning shard's epoch on the shared
+:class:`~repro.serving.router.ShardRouter`, which is what invalidates
+cached query results that depended on this partition.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Any, Iterator
+
+from repro.exceptions import GraphError
+from repro.graphdb.graph import Edge, Node, PropertyGraph
+from repro.serving.engine import _ShardJournal
+from repro.serving.router import ShardRouter
+
+
+class ShardedPropertyGraph:
+    """Doc-id-hash partitioned :class:`PropertyGraph` facade.
+
+    Args:
+        n_shards: partition count.
+        router: shared epoch/routing state (created when omitted).
+    """
+
+    def __init__(self, n_shards: int, router: ShardRouter | None = None):
+        self.router = router if router is not None else ShardRouter(n_shards)
+        if self.router.n_shards != n_shards:
+            raise GraphError(
+                f"router has {self.router.n_shards} shards, graph asked "
+                f"for {n_shards}"
+            )
+        self.shards: list[PropertyGraph] = [
+            PropertyGraph() for _ in range(n_shards)
+        ]
+        self._journal: list | None = None
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard(self, shard_id: int) -> PropertyGraph:
+        """Direct access to one partition (serving internals, tests)."""
+        return self.shards[shard_id]
+
+    def _owning_shard(self, node_id: str) -> int | None:
+        for shard_id, shard in enumerate(self.shards):
+            if shard.has_node(node_id):
+                return shard_id
+        return None
+
+    # -- nodes -------------------------------------------------------------
+
+    def add_node(self, node_id: str, **properties: Any) -> Node:
+        """Create/merge a node on the shard its document hashes to.
+
+        Routing uses the ``doc_id`` property when present (the CREATe
+        data model always sets it), falling back to the node id.
+        """
+        existing = self._owning_shard(node_id)
+        if existing is not None:
+            shard_id = existing  # merge must land on the current owner
+        else:
+            key = properties.get("doc_id", node_id)
+            shard_id = self.router.shard_of(key)
+        node = self.shards[shard_id].add_node(node_id, **properties)
+        self.router.bump(shard_id)
+        return node
+
+    def node(self, node_id: str) -> Node:
+        shard_id = self._owning_shard(node_id)
+        if shard_id is None:
+            raise GraphError(f"unknown node: {node_id!r}")
+        return self.shards[shard_id].node(node_id)
+
+    def has_node(self, node_id: str) -> bool:
+        return self._owning_shard(node_id) is not None
+
+    def remove_node(self, node_id: str) -> None:
+        """Delete a node (and incident edges) from its owning shard."""
+        shard_id = self._owning_shard(node_id)
+        if shard_id is None:
+            return
+        self.shards[shard_id].remove_node(node_id)
+        self.router.bump(shard_id)
+
+    def nodes(self) -> Iterator[Node]:
+        """All nodes (shard order, insertion order within a shard)."""
+        return chain.from_iterable(shard.nodes() for shard in self.shards)
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(shard.n_nodes for shard in self.shards)
+
+    # -- edges -------------------------------------------------------------
+
+    def add_edge(
+        self, source: str, target: str, label: str, **properties: Any
+    ) -> Edge:
+        """Create an edge; both endpoints must live on one shard.
+
+        Raises:
+            GraphError: missing endpoint, or endpoints on different
+                shards (cross-document edges are outside the serving
+                data model).
+        """
+        src_shard = self._owning_shard(source)
+        tgt_shard = self._owning_shard(target)
+        if src_shard is None:
+            raise GraphError(f"unknown node: {source!r}")
+        if tgt_shard is None:
+            raise GraphError(f"unknown node: {target!r}")
+        if src_shard != tgt_shard:
+            raise GraphError(
+                f"cross-shard edge {source!r} -> {target!r} "
+                f"(shards {src_shard} and {tgt_shard})"
+            )
+        edge = self.shards[src_shard].add_edge(
+            source, target, label, **properties
+        )
+        self.router.bump(src_shard)
+        return edge
+
+    def edges(self) -> Iterator[Edge]:
+        """All edges (shard order)."""
+        return chain.from_iterable(shard.edges() for shard in self.shards)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(shard.n_edges for shard in self.shards)
+
+    def out_edges(self, node_id: str, label: str | None = None) -> list[Edge]:
+        shard_id = self._owning_shard(node_id)
+        if shard_id is None:
+            return []
+        return self.shards[shard_id].out_edges(node_id, label)
+
+    def in_edges(self, node_id: str, label: str | None = None) -> list[Edge]:
+        shard_id = self._owning_shard(node_id)
+        if shard_id is None:
+            return []
+        return self.shards[shard_id].in_edges(node_id, label)
+
+    def neighbors(self, node_id: str) -> set[str]:
+        shard_id = self._owning_shard(node_id)
+        if shard_id is None:
+            return set()
+        return self.shards[shard_id].neighbors(node_id)
+
+    # -- property index ----------------------------------------------------
+
+    def create_property_index(self, key: str) -> None:
+        for shard in self.shards:
+            shard.create_property_index(key)
+
+    def find_nodes(self, **criteria: Any) -> list[Node]:
+        """Matching nodes across all shards, sorted by node id (the
+        same contract as the unsharded graph)."""
+        out: list[Node] = []
+        for shard in self.shards:
+            out.extend(shard.find_nodes(**criteria))
+        out.sort(key=lambda node: node.node_id)
+        return out
+
+    # -- durability (repro.durability.Durable protocol) --------------------
+
+    @property
+    def journal(self) -> list | None:
+        return self._journal
+
+    @journal.setter
+    def journal(self, value: list | None) -> None:
+        self._journal = value
+        for shard_id, shard in enumerate(self.shards):
+            shard.journal = (
+                _ShardJournal(self, shard_id) if value is not None else None
+            )
+
+    def durable_apply(self, op: dict) -> None:
+        shard_id = int(op["shard"])
+        self.shards[shard_id].durable_apply(op["o"])
+        self.router.bump(shard_id)
+
+    def durable_snapshot(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "shards": [shard.durable_snapshot() for shard in self.shards],
+        }
+
+    def durable_restore(self, state: dict) -> None:
+        if int(state.get("n_shards", -1)) != self.n_shards:
+            raise GraphError(
+                f"snapshot has {state.get('n_shards')} shards, graph has "
+                f"{self.n_shards}"
+            )
+        for shard_id, shard_state in enumerate(state["shards"]):
+            self.shards[shard_id].durable_restore(shard_state)
+            self.router.bump(shard_id)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "shard_nodes": [shard.n_nodes for shard in self.shards],
+            "shard_edges": [shard.n_edges for shard in self.shards],
+        }

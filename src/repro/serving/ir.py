@@ -1,0 +1,317 @@
+"""Sharded CREATe-IR serving: dual-index partitions behind one facade.
+
+``ShardedIrIndexer`` partitions both CREATe-IR indexes — the property
+graph and the keyword engine — by doc-id hash: each partition is a
+complete :class:`~repro.ir.indexer.CreateIrIndexer` over its slice of
+the corpus (own cypher engine, own temporal closure), sharing one
+concept normalizer.  ``ShardedIrSearcher`` executes the paper's
+Figure-6 workflow as a parallel fan-out: the query is parsed once,
+each shard runs graph search and keyword search over its partition,
+and the per-shard rankings merge into exactly the unsharded result
+(graph scores are per-document; keyword scores use cross-shard BM25
+statistics).
+
+An epoch-stamped LRU cache fronts the fused result; any
+``register_report``/``delete`` bumps the touched shard's epoch and
+thereby invalidates every cached query that could observe it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.ir.indexer import CreateIrIndexer, IndexedReport
+from repro.ir.query_parser import ParsedQuery, QueryParser
+from repro.ir.ranking import fuse_results
+from repro.ir.searcher import CreateIrSearcher, GraphMatchDetail, SearchResult
+from repro.ontology.normalize import ConceptNormalizer
+from repro.runtime.executor import BatchExecutor
+from repro.search.analysis import (
+    CREATE_IR_ANALYZER_CONFIG,
+    STANDARD_ANALYZER_CONFIG,
+)
+from repro.serving.cache import QueryCache
+from repro.serving.engine import ShardedSearchEngine
+from repro.serving.graph import ShardedPropertyGraph
+from repro.serving.router import ShardRouter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from typing import Sequence
+
+    from repro.runtime.metrics import MetricsRegistry
+
+
+class ShardedIrIndexer:
+    """Doc-id-hash sharded drop-in for :class:`CreateIrIndexer`.
+
+    Args:
+        n_shards: partition count.
+        close_temporal: forwarded to every partition's indexer.
+        cache_size: engine-level query-cache entries (0 disables).
+        metrics: registry for shard/cache counters.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        close_temporal: bool = True,
+        cache_size: int = 256,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        self.router = ShardRouter(n_shards)
+        self.engine = ShardedSearchEngine(
+            n_shards,
+            {
+                "body": CREATE_IR_ANALYZER_CONFIG,
+                "title": STANDARD_ANALYZER_CONFIG,
+            },
+            default_field="body",
+            router=self.router,
+            cache_size=cache_size,
+            metrics=metrics,
+        )
+        self.graph = ShardedPropertyGraph(n_shards, router=self.router)
+        self.normalizer = ConceptNormalizer()
+        self.shards: list[CreateIrIndexer] = [
+            CreateIrIndexer(
+                graph=self.graph.shard(shard_id),
+                engine=self.engine.shard(shard_id),
+                close_temporal=close_temporal,
+                normalizer=self.normalizer,
+            )
+            for shard_id in range(n_shards)
+        ]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # -- indexing (routed) -------------------------------------------------
+
+    def index_report(
+        self,
+        doc_id: str,
+        title: str,
+        text: str,
+        spans: "Sequence[tuple[str, str, str, str]]",
+        relations: "Sequence[tuple[str, str, str]]",
+        negated_span_ids: "Sequence[str]" = (),
+    ) -> IndexedReport:
+        """Index one report on the shard its doc id hashes to."""
+        shard_id = self.router.shard_of(doc_id)
+        record = self.shards[shard_id].index_report(
+            doc_id,
+            title,
+            text,
+            spans,
+            relations,
+            negated_span_ids=negated_span_ids,
+        )
+        self.router.bump(shard_id)
+        return record
+
+    def index_annotation_document(self, doc_id, title, annotation_doc):
+        """Convenience: index straight from an annotation document."""
+        shard_id = self.router.shard_of(doc_id)
+        record = self.shards[shard_id].index_annotation_document(
+            doc_id, title, annotation_doc
+        )
+        self.router.bump(shard_id)
+        return record
+
+    # -- aggregate accounting ----------------------------------------------
+
+    @property
+    def n_reports(self) -> int:
+        return sum(shard.n_reports for shard in self.shards)
+
+    @property
+    def contradiction_skips(self) -> int:
+        return sum(shard.contradiction_skips for shard in self.shards)
+
+    @property
+    def closure_failures(self) -> int:
+        return sum(shard.closure_failures for shard in self.shards)
+
+    def report_stats(self, doc_id: str) -> IndexedReport | None:
+        return self.shards[self.router.shard_of(doc_id)].report_stats(doc_id)
+
+    def stats(self) -> dict:
+        """Aggregate indexing health plus per-shard occupancy."""
+        return {
+            "n_reports": self.n_reports,
+            "contradiction_skips": self.contradiction_skips,
+            "closure_failures": self.closure_failures,
+            "shards": [
+                {
+                    "shard": shard_id,
+                    "n_reports": shard.n_reports,
+                    "documents": self.engine.shard(shard_id).n_documents,
+                    "graph_nodes": self.graph.shard(shard_id).n_nodes,
+                    "epoch": self.router.epoch(shard_id),
+                }
+                for shard_id, shard in enumerate(self.shards)
+            ],
+        }
+
+    def serving_stats(self) -> dict:
+        """The ``/stats`` serving section: shards, epochs, caches."""
+        return {
+            "n_shards": self.n_shards,
+            "epochs": list(self.router.epochs()),
+            "engine": self.engine.stats(),
+            "graph": self.graph.stats(),
+        }
+
+
+class ShardedIrSearcher:
+    """Parallel fan-out executor for the Figure-6 search workflow.
+
+    Drop-in for :class:`CreateIrSearcher` over a
+    :class:`ShardedIrIndexer`: results are exactly the unsharded
+    searcher's (same documents, scores, engines, order).
+
+    Args:
+        indexer: the populated sharded indexer.
+        parser: query parser (None = accept only pre-parsed queries).
+        relation_bonus: score bonus per matched query relation.
+        cache_size: fused-result cache entries (0 disables).
+    """
+
+    def __init__(
+        self,
+        indexer: ShardedIrIndexer,
+        parser: QueryParser | None = None,
+        relation_bonus: float = 1.0,
+        metrics: "MetricsRegistry | None" = None,
+        cache_size: int = 256,
+    ):
+        self._indexer = indexer
+        self._parser = parser
+        self.relation_bonus = relation_bonus
+        self.metrics = metrics
+        self._shard_searchers = [
+            CreateIrSearcher(shard, parser=None, relation_bonus=relation_bonus)
+            for shard in indexer.shards
+        ]
+        self.cache = (
+            QueryCache(cache_size, indexer.router.epochs)
+            if cache_size
+            else None
+        )
+        self._executor = BatchExecutor(
+            workers=indexer.n_shards, mode="thread"
+        )
+
+    # -- public API --------------------------------------------------------
+
+    def search(self, query, size: int = 10) -> list[SearchResult]:
+        """Search with a raw string (parsed) or a :class:`ParsedQuery`."""
+        start = time.perf_counter()
+        key = None
+        if self.cache is not None and isinstance(query, str):
+            key = ("ir", query, size)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._record(start, cached=True)
+                return list(cached)
+        if isinstance(query, str):
+            if self._parser is None:
+                parsed = ParsedQuery(text=query)
+            else:
+                parsed = self._parser.parse(query)
+        else:
+            parsed = query
+        graph_ranked, keyword_ranked = self._fan_out(parsed, size)
+        results = [
+            SearchResult(doc_id, score, engine)
+            for doc_id, score, engine in fuse_results(
+                graph_ranked, keyword_ranked, size
+            )
+        ]
+        if key is not None:
+            self.cache.put(key, list(results))
+        self._record(start, cached=False)
+        return results
+
+    def graph_search(self, parsed: ParsedQuery) -> list[GraphMatchDetail]:
+        """Merged per-shard graph matches, globally ranked."""
+        details: list[GraphMatchDetail] = []
+        for shard_details in self._map_shards(
+            lambda searcher: searcher.graph_search(parsed)
+        ):
+            details.extend(shard_details)
+        details.sort(key=lambda detail: (-detail.score, detail.doc_id))
+        return details
+
+    def keyword_only(
+        self, query_text: str, size: int = 10
+    ) -> list[SearchResult]:
+        """Ablation: skip the graph engine entirely."""
+        return [
+            SearchResult(hit.doc_id, hit.score, "keyword")
+            for hit in self._indexer.engine.search(
+                {"match": {"body": query_text}}, size=size
+            )
+        ]
+
+    def cache_stats(self) -> dict | None:
+        return self.cache.stats() if self.cache is not None else None
+
+    # -- fan-out -----------------------------------------------------------
+
+    def _fan_out(self, parsed: ParsedQuery, size: int):
+        keyword_query = {"match": {"body": parsed.keyword_text()}}
+        graph_ranked: list[tuple[str, float]] = []
+        keyword_hits: list = []
+
+        def one_shard(shard_id: int):
+            details = self._shard_searchers[shard_id].graph_search(parsed)
+            hits = self._indexer.engine.shard(shard_id).search(
+                keyword_query, size=size * 3
+            )
+            return details, hits
+
+        for details, hits in self._map_shards_indexed(one_shard):
+            graph_ranked.extend(
+                (detail.doc_id, detail.score) for detail in details
+            )
+            keyword_hits.extend(hits)
+        keyword_hits.sort(key=lambda hit: (-hit.score, str(hit.doc_id)))
+        keyword_ranked = [
+            (hit.doc_id, hit.score) for hit in keyword_hits[: size * 3]
+        ]
+        return graph_ranked, keyword_ranked
+
+    def _map_shards(self, fn):
+        return self._map_shards_indexed(
+            lambda shard_id: fn(self._shard_searchers[shard_id])
+        )
+
+    def _map_shards_indexed(self, fn):
+        if self._indexer.n_shards == 1:
+            return [fn(0)]
+        outcomes = self._executor.map(fn, range(self._indexer.n_shards))
+        values = []
+        for shard_id, outcome in enumerate(outcomes):
+            if not outcome.ok:
+                raise outcome.error
+            if self.metrics is not None:
+                self.metrics.record(
+                    f"serving.shard{shard_id}.ir_seconds", outcome.duration
+                )
+            values.append(outcome.value)
+        return values
+
+    def _record(self, start: float, cached: bool) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.increment("serving.ir.searches")
+        if cached:
+            self.metrics.increment("serving.ir.cache_hits")
+        else:
+            self.metrics.increment("serving.ir.cache_misses")
+        self.metrics.record(
+            "serving.ir.search_seconds", time.perf_counter() - start
+        )

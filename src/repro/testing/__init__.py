@@ -35,6 +35,7 @@ from repro.testing.oracles import (
     reference_fuse,
 )
 from repro.testing.rng import case_rng, derive_seed
+from repro.testing.serving import check_serving_case
 from repro.testing.shrink import shrink
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "case_rng",
     "check_case",
     "check_durability_case",
+    "check_serving_case",
     "derive_seed",
     "visible_doc_ids",
     "exhaustive_decode",

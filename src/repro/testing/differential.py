@@ -42,6 +42,7 @@ from repro.testing.oracles import (
     reference_closure,
 )
 from repro.testing.rng import case_rng
+from repro.testing.serving import check_serving_case
 
 SUBSYSTEMS = (
     "search",
@@ -50,6 +51,7 @@ SUBSYSTEMS = (
     "temporal",
     "invariants",
     "durability",
+    "serving",
 )
 
 _TOLERANCE = 1e-8
@@ -315,6 +317,7 @@ GENERATORS = {
     "temporal": generators.gen_temporal_case,
     "invariants": generators.gen_invariants_case,
     "durability": generators.gen_durability_case,
+    "serving": generators.gen_serving_case,
 }
 
 CHECKERS = {
@@ -324,6 +327,7 @@ CHECKERS = {
     "temporal": check_temporal_case,
     "invariants": check_invariants_case,
     "durability": check_durability_case,
+    "serving": check_serving_case,
 }
 
 

@@ -268,6 +268,47 @@ def gen_invariants_case(rng: Random) -> dict:
     }
 
 
+# -- serving (sharded fan-out + query cache) ---------------------------------
+
+
+def gen_serving_case(rng: Random) -> dict:
+    """A sharded-serving workload: seed ops, a query batch (run twice
+    to exercise the cache), a mutation batch, and a final query batch
+    whose results must match a cold unsharded engine.
+
+    Doc ids span a wider range than the search cases so every shard
+    count actually spreads documents across partitions.
+    """
+
+    def gen_ops(n_min: int, n_max: int) -> list:
+        ops = []
+        for _ in range(rng.randint(n_min, n_max)):
+            if ops and rng.random() < 0.3:
+                ops.append({"op": "delete", "id": f"d{rng.randint(0, 11)}"})
+            else:
+                ops.append(
+                    {
+                        "op": "index",
+                        "id": f"d{rng.randint(0, 11)}",
+                        "fields": {
+                            "body": gen_text(rng, 10),
+                            "title": gen_text(rng, 4),
+                        },
+                    }
+                )
+        return ops
+
+    return {
+        "n_shards": rng.choice([1, 2, 2, 3, 4, 4]),
+        "cache_size": rng.choice([1, 2, 8, 32]),
+        "analyzer": rng.choice(ANALYZERS),
+        "ops": gen_ops(1, 8),
+        "queries": [gen_query(rng) for _ in range(rng.randint(1, 4))],
+        "mutations": gen_ops(1, 4),
+        "post_queries": [gen_query(rng) for _ in range(rng.randint(1, 3))],
+    }
+
+
 # -- durability / crash recovery ---------------------------------------------
 
 _DURABILITY_FAULTS = ["crash", "torn", "io_append", "io_fsync", "io_replace"]

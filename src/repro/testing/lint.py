@@ -1,0 +1,178 @@
+"""Stdlib-only AST lint for hazards the test suite can't catch.
+
+Three rules, each motivated by a real failure mode in this codebase:
+
+* **REPRO001 — bare ``except:``** (everywhere).  The runtime layer's
+  whole point is that failures are isolated *and visible*; a bare
+  except silently eats ``KeyboardInterrupt``/``SystemExit`` and any
+  bug it never anticipated.
+* **REPRO002 — mutable default arguments** (everywhere).  A shared
+  ``[]``/``{}`` default aliases state across calls — deadly in a
+  module where engines and caches are constructed repeatedly under
+  fuzzing.
+* **REPRO003 — ``time.time()`` in deterministic code** (harness
+  modules under ``src/repro/testing/`` and the ``tests/`` tree).
+  Oracles and generated cases must be replayable byte-for-byte;
+  wall-clock reads are hidden nondeterminism.  Benchmarks and runtime
+  metrics legitimately measure time and are exempt.
+
+Run as ``python -m repro.testing.lint [paths...]``; exits 1 when any
+violation is found.  No third-party dependencies — this must run on a
+bare CI python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+
+# Directories whose code must be deterministic (REPRO003 scope).
+DETERMINISTIC_PARTS = (
+    ("src", "repro", "testing"),
+    ("tests",),
+)
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict"}
+
+
+def _is_mutable_default(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _in_deterministic_scope(path: Path) -> bool:
+    parts = path.parts
+    return any(
+        parts[: len(prefix)] == prefix for prefix in DETERMINISTIC_PARTS
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: Path, deterministic: bool):
+        self.path = path
+        self.deterministic = deterministic
+        self.findings: list[tuple[int, str, str]] = []
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.findings.append(
+                (
+                    node.lineno,
+                    "REPRO001",
+                    "bare 'except:' swallows SystemExit/KeyboardInterrupt; "
+                    "catch a concrete exception type",
+                )
+            )
+        self.generic_visit(node)
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self.findings.append(
+                    (
+                        default.lineno,
+                        "REPRO002",
+                        f"mutable default argument in {node.name}(); "
+                        "use None and construct inside the body",
+                    )
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.deterministic:
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                self.findings.append(
+                    (
+                        node.lineno,
+                        "REPRO003",
+                        "time.time() in deterministic test/oracle code; "
+                        "pass timestamps in or use a seeded source",
+                    )
+                )
+        self.generic_visit(node)
+
+
+def lint_file(path: Path, root: Path) -> list[str]:
+    """Human-readable findings for one file (empty = clean)."""
+    relative = path.relative_to(root) if path.is_relative_to(root) else path
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{relative}:{exc.lineno}: SYNTAX {exc.msg}"]
+    visitor = _Visitor(relative, _in_deterministic_scope(relative))
+    visitor.visit(tree)
+    return [
+        f"{relative}:{line}: {code} {message}"
+        for line, code, message in sorted(visitor.findings)
+    ]
+
+
+def lint_paths(paths: list[str], root: Path) -> list[str]:
+    findings: list[str] = []
+    for entry in paths:
+        target = root / entry
+        if target.is_file():
+            findings.extend(lint_file(target, root))
+            continue
+        for path in sorted(target.rglob("*.py")):
+            findings.extend(lint_file(path, root))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.lint", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root the default paths resolve against",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve()
+    findings = lint_paths(args.paths or DEFAULT_PATHS, root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Serving-layer oracles: sharded-vs-unsharded equivalence and cache
+coherence.
+
+One generated case drives the same index/delete/query workload through
+a :class:`~repro.serving.engine.ShardedSearchEngine` and a plain
+:class:`~repro.search.engine.SearchEngine` and verifies:
+
+* **Rank equivalence** — every query returns the same documents with
+  the same scores in the same order from both engines, at every shard
+  count.  This is the claim that makes sharding an implementation
+  detail rather than a semantic change.
+* **Cache determinism** — asking the same query twice in a row (a
+  guaranteed cache hit) returns exactly the first answer.
+* **Cache coherence (metamorphic)** — after a mutation batch, queries
+  must match a *cold* unsharded engine built by replaying the full op
+  stream from scratch: a stale cached answer surviving an epoch bump
+  would diverge here.
+"""
+
+from __future__ import annotations
+
+from repro.search.analysis import STANDARD_ANALYZER_CONFIG
+from repro.search.engine import SearchEngine
+from repro.serving.engine import ShardedSearchEngine
+from repro.testing.oracles import ANALYZER_CONFIGS
+
+_TOLERANCE = 1e-8
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _TOLERANCE * (1.0 + max(abs(a), abs(b)))
+
+
+def _search_once(engine, query):
+    """('error', type name) or a ranked (doc_id, score) list."""
+    try:
+        hits = engine.search(query, size=10)
+    except Exception as exc:
+        return ("error", type(exc).__name__)
+    return [(hit.doc_id, hit.score) for hit in hits]
+
+
+def _compare(query, got, want, label: str) -> str | None:
+    if isinstance(got, tuple) or isinstance(want, tuple):
+        if got != want:
+            return f"{label} {query!r}: sharded {got!r}, oracle {want!r}"
+        return None
+    if [doc_id for doc_id, _ in got] != [doc_id for doc_id, _ in want]:
+        return f"{label} {query!r}: ranking {got!r}, oracle {want!r}"
+    for (_, got_score), (_, want_score) in zip(got, want):
+        if not _close(got_score, want_score):
+            return f"{label} {query!r}: scores diverged {got!r} vs {want!r}"
+    return None
+
+
+def _valid_case(case: dict) -> bool:
+    """Structural validation; shrunk cases may violate any of this."""
+    if not isinstance(case, dict):
+        return False
+    n_shards = case.get("n_shards")
+    if not isinstance(n_shards, int) or not 1 <= n_shards <= 16:
+        return False
+    cache_size = case.get("cache_size")
+    if not isinstance(cache_size, int) or cache_size < 1:
+        return False
+    if case.get("analyzer") not in ANALYZER_CONFIGS:
+        return False
+    for key in ("ops", "mutations"):
+        ops = case.get(key)
+        if not isinstance(ops, list):
+            return False
+        for op in ops:
+            if not isinstance(op, dict) or op.get("op") not in (
+                "index",
+                "delete",
+            ):
+                return False
+            if op["op"] == "index" and not isinstance(
+                op.get("fields"), dict
+            ):
+                return False
+    if not isinstance(case.get("queries"), list):
+        return False
+    if not isinstance(case.get("post_queries"), list):
+        return False
+    return True
+
+
+def _apply_ops(ops: list, *engines) -> str | None:
+    for op in ops:
+        if op["op"] == "index":
+            for engine in engines:
+                engine.index(op["id"], op["fields"])
+        else:
+            results = [engine.delete(op["id"]) for engine in engines]
+            if len(set(results)) > 1:
+                return f"delete({op['id']!r}) verdicts diverged: {results}"
+    return None
+
+
+def check_serving_case(case: dict) -> str | None:
+    """Run one serving workload; ``None`` means all invariants held
+    (or the case was structurally malformed — vacuous)."""
+    if not _valid_case(case):
+        return None
+    field_analyzers = {
+        "body": ANALYZER_CONFIGS[case["analyzer"]],
+        "title": STANDARD_ANALYZER_CONFIG,
+    }
+    sharded = ShardedSearchEngine(
+        case["n_shards"], field_analyzers, cache_size=case["cache_size"]
+    )
+    reference = SearchEngine(field_analyzers)
+
+    message = _apply_ops(case["ops"], sharded, reference)
+    if message is not None:
+        return message
+    if sharded.n_documents != reference.n_documents:
+        return (
+            f"doc count diverged after seed ops: {sharded.n_documents} "
+            f"vs {reference.n_documents}"
+        )
+
+    # Rank equivalence + guaranteed-hit cache determinism.
+    for query in case["queries"]:
+        want = _search_once(reference, query)
+        got = _search_once(sharded, query)
+        message = _compare(query, got, want, "warm")
+        if message is not None:
+            return message
+        again = _search_once(sharded, query)
+        if again != got:
+            return (
+                f"cache hit not deterministic for {query!r}: "
+                f"first {got!r}, second {again!r}"
+            )
+
+    # Mutate, then check against a COLD engine replaying everything:
+    # a stale cache entry surviving its epoch bump diverges here.
+    message = _apply_ops(case["mutations"], sharded, reference)
+    if message is not None:
+        return message
+    cold = SearchEngine(field_analyzers)
+    _apply_ops(case["ops"] + case["mutations"], cold)
+
+    for query in case["post_queries"] + case["queries"]:
+        want = _search_once(cold, query)
+        got = _search_once(sharded, query)
+        message = _compare(query, got, want, "post-mutation")
+        if message is not None:
+            return message
+
+    # Structural cache health: bounded, and consistent counters.
+    if sharded.cache is not None:
+        stats = sharded.cache.stats()
+        if stats["entries"] > stats["capacity"]:
+            return f"cache exceeded capacity: {stats!r}"
+        if stats["hits"] + stats["misses"] < len(case["queries"]):
+            return f"cache counters undercount lookups: {stats!r}"
+    return None

@@ -1,0 +1,329 @@
+"""Sharded serving: routing, caching, fan-out merge, durability, wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import DurabilityManager, MemFS
+from repro.exceptions import GraphError, ReproError, SearchError
+from repro.search.engine import SearchEngine, create_ir_engine
+from repro.serving import (
+    QueryCache,
+    ShardRouter,
+    ShardedIrIndexer,
+    ShardedIrSearcher,
+    ShardedPropertyGraph,
+    ShardedSearchEngine,
+)
+
+def _engine(n_shards, **kwargs):
+    from repro.search.analysis import (
+        CREATE_IR_ANALYZER_CONFIG,
+        STANDARD_ANALYZER_CONFIG,
+    )
+
+    return ShardedSearchEngine(
+        n_shards,
+        {
+            "body": CREATE_IR_ANALYZER_CONFIG,
+            "title": STANDARD_ANALYZER_CONFIG,
+        },
+        **kwargs,
+    )
+
+
+# -- router ------------------------------------------------------------------
+
+
+def test_router_routing_is_stable_and_bumps_epochs():
+    router = ShardRouter(4)
+    assert router.shard_of("pmid-1") == router.shard_of("pmid-1")
+    assert all(0 <= router.shard_of(f"d{i}") < 4 for i in range(50))
+    shard = router.shard_of("pmid-1")
+    before = router.epochs()
+    router.bump_for("pmid-1")
+    after = router.epochs()
+    assert after[shard] == before[shard] + 1
+    assert [a for i, a in enumerate(after) if i != shard] == [
+        a for i, a in enumerate(before) if i != shard
+    ]
+
+
+def test_router_rejects_bad_shard_count():
+    with pytest.raises(ReproError):
+        ShardRouter(0)
+
+
+def test_router_spreads_documents_across_shards():
+    router = ShardRouter(4)
+    owners = {router.shard_of(f"doc-{i:04d}") for i in range(200)}
+    assert owners == {0, 1, 2, 3}
+
+
+# -- cache -------------------------------------------------------------------
+
+
+def test_cache_hit_miss_and_epoch_invalidation():
+    epochs = [0, 0]
+    cache = QueryCache(4, lambda: tuple(epochs))
+    assert cache.get("q") is None
+    cache.put("q", [1, 2])
+    assert cache.get("q") == [1, 2]
+    epochs[1] += 1  # any shard mutation invalidates
+    assert cache.get("q") is None
+    stats = cache.stats()
+    assert stats["stale_drops"] == 1
+    assert stats["hits"] == 1
+    assert stats["misses"] == 2
+
+
+def test_cache_lru_eviction_order():
+    cache = QueryCache(2, lambda: (0,))
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh a; b is now LRU
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.stats()["evictions"] == 1
+
+
+def test_cache_rejects_bad_capacity():
+    with pytest.raises(ReproError):
+        QueryCache(0, lambda: (0,))
+
+
+# -- sharded engine: exactness -----------------------------------------------
+
+
+def test_topk_merge_tie_break_matches_unsharded_doc_id_order():
+    """Equal BM25 scores across different shards must still come back
+    in the unsharded engine's (-score, doc_id) order."""
+    sharded = _engine(4, cache_size=4)
+    reference = create_ir_engine()
+    # Identical bodies -> identical scores; ids chosen to hash to
+    # different shards (verified below).
+    doc_ids = [f"tie-{i:02d}" for i in range(12)]
+    for doc_id in doc_ids:
+        fields = {"title": doc_id, "body": "fever cough fever"}
+        sharded.index(doc_id, fields)
+        reference.index(doc_id, fields)
+    assert len({sharded.router.shard_of(d) for d in doc_ids}) > 1
+    got = sharded.search("fever", size=12)
+    want = reference.search("fever", size=12)
+    scores = {hit.score for hit in want}
+    assert len(scores) == 1  # the tie is real
+    assert [hit.doc_id for hit in got] == [hit.doc_id for hit in want]
+    assert [hit.doc_id for hit in got] == sorted(doc_ids)
+
+
+def test_sharded_engine_matches_unsharded_on_mixed_ops():
+    sharded = _engine(3, cache_size=8)
+    reference = create_ir_engine()
+    docs = {
+        f"d{i}": f"fever cough dyspnea word{i} chest pain"[: 10 + 3 * i]
+        for i in range(20)
+    }
+    for doc_id, body in docs.items():
+        sharded.index(doc_id, {"title": doc_id, "body": body})
+        reference.index(doc_id, {"title": doc_id, "body": body})
+    assert sharded.delete("d3") is reference.delete("d3") is True
+    assert sharded.delete("absent") is reference.delete("absent") is False
+    for query in ["fever", "chest pain", {"match_phrase": {"body": "fever cough"}}]:
+        got = sharded.search(query, size=10)
+        want = reference.search(query, size=10)
+        assert [(h.doc_id, h.score) for h in got] == [
+            (h.doc_id, h.score) for h in want
+        ]
+
+
+def test_cache_invalidation_on_delete_then_reinsert_same_id():
+    """A reinserted doc id must be served with its NEW content; the
+    pre-delete cached answer may not survive either mutation."""
+    sharded = _engine(2, cache_size=8)
+    sharded.index("doc-a", {"title": "a", "body": "fever fever fever"})
+    sharded.index("doc-b", {"title": "b", "body": "cough"})
+    first = sharded.search("fever", size=5)
+    assert [h.doc_id for h in first] == ["doc-a"]
+    assert sharded.delete("doc-a")
+    assert [h.doc_id for h in sharded.search("fever", size=5)] == []
+    sharded.index("doc-a", {"title": "a", "body": "cough cough"})
+    assert [h.doc_id for h in sharded.search("fever", size=5)] == []
+    hits = sharded.search("cough", size=5)
+    assert {h.doc_id for h in hits} == {"doc-a", "doc-b"}
+    assert sharded.cache.stats()["stale_drops"] >= 1
+
+
+def test_engine_highlight_routes_to_owning_shard_and_stats_shape():
+    sharded = _engine(3, cache_size=4)
+    sharded.index("h1", {"title": "t", "body": "acute renal failure"})
+    assert sharded.highlight("h1", "body", "renal")
+    assert sharded.explain_terms("body", "fever") == sharded.shard(
+        1
+    ).explain_terms("body", "fever")
+    stats = sharded.stats()
+    assert stats["n_shards"] == 3
+    assert len(stats["epochs"]) == 3
+    assert sum(stats["shard_documents"]) == 1
+    assert stats["cache"]["capacity"] == 4
+
+
+def test_engine_rejects_router_shard_mismatch():
+    with pytest.raises(SearchError):
+        ShardedSearchEngine(3, router=ShardRouter(2))
+
+
+# -- sharded graph -----------------------------------------------------------
+
+
+def test_sharded_graph_routes_by_doc_id_and_rejects_cross_shard_edges():
+    graph = ShardedPropertyGraph(4)
+    router = graph.router
+    # Find two doc ids on different shards.
+    a, b = "doc-x", next(
+        f"doc-{i}"
+        for i in range(50)
+        if router.shard_of(f"doc-{i}") != router.shard_of("doc-x")
+    )
+    graph.add_node(f"{a}:T1", doc_id=a, entityType="Sign_symptom")
+    graph.add_node(f"{a}:T2", doc_id=a, entityType="Medication")
+    graph.add_node(f"{b}:T1", doc_id=b, entityType="Sign_symptom")
+    edge = graph.add_edge(f"{a}:T1", f"{a}:T2", "BEFORE")
+    assert edge.label == "BEFORE"
+    with pytest.raises(GraphError):
+        graph.add_edge(f"{a}:T1", f"{b}:T1", "BEFORE")
+    assert graph.n_nodes == 3
+    assert graph.n_edges == 1
+    found = graph.find_nodes(entityType="Sign_symptom")
+    assert [node.node_id for node in found] == sorted(
+        [f"{a}:T1", f"{b}:T1"]
+    )
+    graph.remove_node(f"{a}:T1")
+    assert not graph.has_node(f"{a}:T1")
+    assert graph.n_edges == 0
+
+
+# -- durability through the facades ------------------------------------------
+
+
+def test_sharded_durability_recovery_round_trip():
+    mem = MemFS()
+    manager = DurabilityManager(mem)
+    engine = _engine(3)
+    graph = ShardedPropertyGraph(3, router=engine.router)
+    manager.attach("graph", graph)
+    manager.attach("index", engine)
+    for i in range(8):
+        doc_id = f"doc-{i}"
+        engine.index(doc_id, {"title": doc_id, "body": f"fever cough w{i}"})
+        graph.add_node(f"{doc_id}:T1", doc_id=doc_id, entityType="Sign_symptom")
+        manager.commit()
+    engine.delete("doc-3")
+    manager.commit()
+    manager.flush()
+    manager.snapshot()
+    engine.index("doc-9", {"title": "d9", "body": "dyspnea"})
+    manager.commit()
+    manager.flush()
+
+    recovered_engine = _engine(3)
+    recovered_graph = ShardedPropertyGraph(3, router=recovered_engine.router)
+    recovery = DurabilityManager(mem)
+    recovery.attach("graph", recovered_graph)
+    recovery.attach("index", recovered_engine)
+    report = recovery.recover()
+    assert report.snapshot_loaded
+    assert recovered_engine.n_documents == engine.n_documents == 8
+    assert recovered_graph.n_nodes == graph.n_nodes == 8
+    for query in ["fever", "dyspnea"]:
+        assert [
+            (h.doc_id, h.score) for h in recovered_engine.search(query)
+        ] == [(h.doc_id, h.score) for h in engine.search(query)]
+
+
+def test_restore_rejects_shard_count_mismatch():
+    engine = _engine(2)
+    engine.index("d1", {"title": "t", "body": "fever"})
+    state = engine.durable_snapshot()
+    with pytest.raises(SearchError):
+        _engine(3).durable_restore(state)
+    graph = ShardedPropertyGraph(2)
+    graph.add_node("d1:T1", doc_id="d1")
+    with pytest.raises(GraphError):
+        ShardedPropertyGraph(3).durable_restore(graph.durable_snapshot())
+
+
+# -- IR facade + pipeline/app wiring -----------------------------------------
+
+
+def test_sharded_ir_matches_unsharded_searcher(small_corpus):
+    from repro.ir.indexer import CreateIrIndexer
+    from repro.ir.searcher import CreateIrSearcher
+
+    reference_ix = CreateIrIndexer()
+    sharded_ix = ShardedIrIndexer(4)
+    for report in small_corpus[:20]:
+        reference_ix.index_annotation_document(
+            report.report_id, report.title, report.annotations
+        )
+        sharded_ix.index_annotation_document(
+            report.report_id, report.title, report.annotations
+        )
+    assert sharded_ix.n_reports == reference_ix.n_reports
+    assert sharded_ix.graph.n_nodes == reference_ix.graph.n_nodes
+    reference = CreateIrSearcher(reference_ix)
+    sharded = ShardedIrSearcher(sharded_ix)
+    for query in ["fever and chest pain", "patient admitted with dyspnea"]:
+        want = reference.search(query, size=8)
+        got = sharded.search(query, size=8)
+        assert [(r.doc_id, r.score, r.engine) for r in got] == [
+            (r.doc_id, r.score, r.engine) for r in want
+        ]
+        again = sharded.search(query, size=8)  # cache hit
+        assert [(r.doc_id, r.score) for r in again] == [
+            (r.doc_id, r.score) for r in want
+        ]
+    assert sharded.cache_stats()["hits"] >= 2
+    stats = sharded_ix.stats()
+    assert stats["n_reports"] == 20
+    assert len(stats["shards"]) == 4
+
+
+def test_pipeline_serving_shards_wiring(demo_system):
+    from repro.pipeline import CreatePipeline
+
+    base_pipeline, reports = demo_system
+    sharded = CreatePipeline(
+        extractor=base_pipeline.extractor, serving_shards=2,
+        query_cache_size=16,
+    )
+    unsharded = CreatePipeline(extractor=base_pipeline.extractor)
+    for report in reports[:8]:
+        sharded.app.register_report(report.to_document(), report.annotations)
+        unsharded.app.register_report(
+            report.to_document(), report.annotations
+        )
+    assert isinstance(sharded.indexer, ShardedIrIndexer)
+    assert isinstance(sharded.searcher, ShardedIrSearcher)
+    query = "fever and chest pain"
+    got = sharded.app.handle("GET", "/search", params={"q": query})
+    want = unsharded.app.handle("GET", "/search", params={"q": query})
+    assert got.status == want.status == 200
+    assert got.body["results"] == want.body["results"]
+
+    stats = sharded.app.handle("GET", "/stats")
+    assert stats.status == 200
+    serving = stats.body["serving"]
+    assert serving["n_shards"] == 2
+    assert "cache" in serving["engine"]
+    assert "ir_cache" in serving
+    assert stats.body["indexer"]["n_reports"] == 8
+
+    # Delete-then-query through the app: cache must not serve the dead doc.
+    victim = got.body["results"][0]["id"] if got.body["results"] else None
+    if victim is not None:
+        deleted = sharded.app.handle("DELETE", f"/reports/{victim}")
+        assert deleted.status == 200
+        after = sharded.app.handle("GET", "/search", params={"q": query})
+        assert victim not in [row["id"] for row in after.body["results"]]

@@ -38,6 +38,7 @@ GATE_BENCHMARKS = {
     "query_throughput": "benchmarks/bench_query_throughput.py",
     "pipeline_parallel": "benchmarks/bench_pipeline_parallel.py",
     "wal_overhead": "benchmarks/bench_wal_overhead.py",
+    "segment_serving": "benchmarks/bench_segment_serving.py",
 }
 
 

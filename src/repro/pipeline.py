@@ -347,6 +347,10 @@ class CreatePipeline:
             rank-equivalent to the unsharded configuration.
         query_cache_size: entries in each serving-layer query cache
             (epoch-invalidated; only used when ``serving_shards`` >= 1).
+        segment_dir: back the unsharded keyword engine with on-disk
+            immutable segments under this directory (numpy-packed
+            postings, bit-identical scores).  Ignored when
+            ``serving_shards`` >= 1.
         durability: optional WAL/snapshot manager.  When set, the
             docstore, property graph, and keyword index are attached to
             it, every registered report commits as one atomic WAL
@@ -364,6 +368,7 @@ class CreatePipeline:
     parse_retries: int = 2
     serving_shards: int = 0
     query_cache_size: int = 256
+    segment_dir: str | None = None
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: SpanTracer = field(default_factory=SpanTracer)
     durability: DurabilityManager | None = None
@@ -385,7 +390,14 @@ class CreatePipeline:
             )
             serving_stats = self._serving_stats
         else:
-            self.indexer = CreateIrIndexer()
+            engine = None
+            if self.segment_dir is not None:
+                from repro.search.segment_engine import (
+                    create_segment_ir_engine,
+                )
+
+                engine = create_segment_ir_engine(self.segment_dir)
+            self.indexer = CreateIrIndexer(engine=engine)
             self.indexer.engine.metrics = self.metrics
             self.searcher = CreateIrSearcher(
                 self.indexer, parser=parser, metrics=self.metrics

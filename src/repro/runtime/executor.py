@@ -93,6 +93,11 @@ class BatchExecutor:
         retry_on: exception types considered transient/retryable.
         initializer / initargs: per-worker setup hook (also invoked
             once, inline, for serial and thread mode).
+        persistent: keep the worker pool alive across ``map`` calls
+            instead of opening one per batch.  Long-lived serving tiers
+            set this so process workers keep their warm per-process
+            state (mmap'd segments, caches); call :meth:`close` (or use
+            the executor as a context manager) when done.
     """
 
     def __init__(
@@ -103,6 +108,7 @@ class BatchExecutor:
         retry_on: Sequence[type[BaseException]] = (),
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        persistent: bool = False,
     ):
         if mode not in _MODES:
             raise ReproError(
@@ -116,6 +122,8 @@ class BatchExecutor:
         self.retry_on = tuple(retry_on)
         self.initializer = initializer
         self.initargs = tuple(initargs)
+        self.persistent = bool(persistent)
+        self._live_pool: Executor | None = None
 
     # -- execution ---------------------------------------------------------
 
@@ -133,14 +141,60 @@ class BatchExecutor:
                 _run_one(fn, item, i, self.retries, self.retry_on)
                 for i, item in enumerate(batch)
             ]
+        if self.persistent:
+            return self._submit_batch(self._persistent_pool(), fn, batch)
         with self._pool() as pool:
-            futures = [
-                pool.submit(
-                    _run_one, fn, item, i, self.retries, self.retry_on
-                )
-                for i, item in enumerate(batch)
-            ]
-            return [future.result() for future in futures]
+            return self._submit_batch(pool, fn, batch)
+
+    def _submit_batch(
+        self, pool: Executor, fn: Callable[[Any], Any], batch: list
+    ) -> list[TaskOutcome]:
+        futures = [
+            pool.submit(_run_one, fn, item, i, self.retries, self.retry_on)
+            for i, item in enumerate(batch)
+        ]
+        return [future.result() for future in futures]
+
+    def _persistent_pool(self) -> Executor:
+        if self._live_pool is None:
+            self._live_pool = self._pool()
+        return self._live_pool
+
+    def close(self) -> None:
+        """Shut down a persistent pool (no-op otherwise)."""
+        if self._live_pool is not None:
+            self._live_pool.shutdown(wait=True)
+            self._live_pool = None
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def _mp_context():
+        """The safest available multiprocessing start method.
+
+        ``fork`` inherits heavyweight initargs (trained models) without
+        pickling them through the call pipe — but forking a process with
+        live threads can deadlock the child on locks the forked thread
+        held (and is a DeprecationWarning on Python 3.12+), so when any
+        extra thread is running we fall back to ``forkserver`` and then
+        ``spawn``.
+        """
+        import multiprocessing
+        import threading
+
+        available = multiprocessing.get_all_start_methods()
+        if threading.active_count() > 1:
+            preferred = ("forkserver", "spawn")
+        else:
+            preferred = ("fork", "forkserver", "spawn")
+        for method in preferred:
+            if method in available:
+                return multiprocessing.get_context(method)
+        return None
 
     def _pool(self) -> Executor:
         if self.mode == "thread":
@@ -149,16 +203,9 @@ class BatchExecutor:
             if self.initializer is not None:
                 self.initializer(*self.initargs)
             return ThreadPoolExecutor(max_workers=self.workers)
-        import multiprocessing
-
-        context = None
-        if "fork" in multiprocessing.get_all_start_methods():
-            # Fork inherits heavyweight initargs (trained models) without
-            # pickling them through the call pipe.
-            context = multiprocessing.get_context("fork")
         return ProcessPoolExecutor(
             max_workers=self.workers,
-            mp_context=context,
+            mp_context=self._mp_context(),
             initializer=self.initializer,
             initargs=self.initargs,
         )

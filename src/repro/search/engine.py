@@ -138,13 +138,13 @@ class SearchEngine:
             query = {"match": {self.default_field: query}}
         scores = self._execute(query)
         by_doc_id = [
-            (self._ids_by_ordinal[ordinal], score)
+            (doc_id, score)
             for ordinal, score in scores.items()
-            if ordinal in self._ids_by_ordinal
+            if (doc_id := self._doc_id_of(ordinal)) is not None
         ]
         by_doc_id.sort(key=lambda item: (-item[1], str(item[0])))
         hits = [
-            ScoredHit(doc_id, score, self._sources[doc_id])
+            ScoredHit(doc_id, score, self._source(doc_id))
             for doc_id, score in by_doc_id[:size]
         ]
         if self.metrics is not None:
@@ -178,7 +178,7 @@ class SearchEngine:
         if kind == "bool":
             return self._bool(body)
         if kind == "match_all":
-            return {ordinal: 1.0 for ordinal in self._ids_by_ordinal}
+            return {ordinal: 1.0 for ordinal in self._all_live_ordinals()}
         raise SearchError(f"unknown query clause: {kind!r}")
 
     def _match(self, body: dict) -> dict[int, float]:
@@ -240,7 +240,7 @@ class SearchEngine:
         """Query-term snippets from a stored document field."""
         from repro.search.highlight import highlight as run_highlight
 
-        source = self._sources.get(doc_id, {})
+        source = self._source(doc_id)
         text = source.get(field, "")
         if not isinstance(text, str):
             return []
@@ -269,7 +269,7 @@ class SearchEngine:
             for scores in should:
                 candidates |= set(scores)
         else:
-            candidates = set(self._ids_by_ordinal)
+            candidates = set(self._all_live_ordinals())
 
         excluded = set()
         for scores in must_not:
@@ -327,6 +327,23 @@ class SearchEngine:
         self._next_ordinal = int(state.get("next_ordinal", 0))
 
     # -- internals --------------------------------------------------------------
+
+    # Document-resolution hooks: subclasses that keep some documents
+    # outside the in-memory maps (e.g. sealed index segments) override
+    # these three so every query path resolves ids and stored fields
+    # uniformly.
+
+    def _doc_id_of(self, ordinal: int) -> Any | None:
+        """The external id of a live ordinal (None when unknown)."""
+        return self._ids_by_ordinal.get(ordinal)
+
+    def _source(self, doc_id: Any) -> dict:
+        """Stored fields of a document ({} when absent)."""
+        return self._sources.get(doc_id, {})
+
+    def _all_live_ordinals(self):
+        """Every live document ordinal (for match_all / bare bool)."""
+        return self._ids_by_ordinal.keys()
 
     @staticmethod
     def _unpack(body: dict, clause: str) -> tuple[str, Any]:

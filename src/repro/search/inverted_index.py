@@ -7,7 +7,9 @@ several field indexes that share external doc ids.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Sequence
 
 from repro.search.analysis import AnalyzedToken
@@ -52,8 +54,14 @@ class InvertedIndex:
         for token in tokens:
             per_term.setdefault(token.term, []).append(token.position)
         for term, positions in per_term.items():
-            self._postings.setdefault(term, []).append(
-                Posting(doc_ord, sorted(positions))
+            # Insert at the doc-ord position, not the tail: after a
+            # delete-then-reinsert an appended posting would land out of
+            # order, making iteration (and thus score accumulation /
+            # tie-break order) diverge from a cold rebuild.
+            insort(
+                self._postings.setdefault(term, []),
+                Posting(doc_ord, sorted(positions)),
+                key=attrgetter("doc_ord"),
             )
         self._doc_terms[doc_ord] = tuple(per_term)
         length = len(tokens)
@@ -89,6 +97,10 @@ class InvertedIndex:
     def doc_length(self, doc_ord: int) -> int:
         """Token count of a document (0 when absent)."""
         return self._doc_lengths.get(doc_ord, 0)
+
+    def has_document(self, doc_ord: int) -> bool:
+        """Whether ``doc_ord`` was indexed into this field."""
+        return doc_ord in self._doc_lengths
 
     @property
     def n_documents(self) -> int:

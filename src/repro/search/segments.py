@@ -1,0 +1,588 @@
+"""Immutable index segments with numpy-packed postings.
+
+A segment is the Lucene-style unit the keyword index is built from: a
+write-once binary file holding a batch of documents' postings as packed
+numpy arrays — per-term doc-row **delta arrays**, term-frequency
+arrays, flattened position arrays — plus per-field document lengths and
+the stored fields.  Segments are never mutated after being written:
+deletes are row bitmaps kept outside the file (in the engine manifest),
+and compaction happens by merging segments into a new file.
+
+On-disk layout::
+
+    [0:8]    magic  b"CRSEG001"
+    [8:12]   uint32  meta length M
+    [12:..]  meta JSON (section offsets, dtypes, per-section crc32)
+    [..:..]  uint32  crc32 of the meta JSON
+    ...      8-byte-aligned array sections
+
+The meta checksum is verified on every open; section payloads carry
+their own crc32 and are verified by :meth:`Segment.verify` (a full
+file pass, so it is explicit rather than implicit on the query path).
+Readers map the file once with :mod:`mmap` and expose each section as
+a zero-copy numpy view, so a large segment costs page-cache faults,
+not heap.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import zlib
+from bisect import bisect_left
+from dataclasses import dataclass
+from heapq import merge as heap_merge
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.exceptions import SearchError
+from repro.search.inverted_index import InvertedIndex
+
+MAGIC = b"CRSEG001"
+_ALIGN = 8
+
+_DTYPES = {
+    "uint8": np.uint8,
+    "uint32": np.uint32,
+    "uint64": np.uint64,
+}
+
+
+class SegmentFormatError(SearchError):
+    """A segment file is malformed or fails its checksums."""
+
+
+def _pad(n: int) -> int:
+    return (-n) % _ALIGN
+
+
+class _SectionWriter:
+    """Accumulates aligned array sections and their meta records."""
+
+    def __init__(self):
+        self.chunks: list[bytes] = []
+        self.offset = 0
+        self.sections: dict[str, dict] = {}
+
+    def add(self, name: str, array: np.ndarray) -> None:
+        data = np.ascontiguousarray(array).tobytes()
+        self.add_bytes(name, data, str(array.dtype))
+
+    def add_bytes(self, name: str, data: bytes, dtype: str) -> None:
+        pad = _pad(self.offset)
+        if pad:
+            self.chunks.append(b"\x00" * pad)
+            self.offset += pad
+        self.sections[name] = {
+            "offset": self.offset,
+            "length": len(data),
+            "dtype": dtype,
+            "crc": zlib.crc32(data),
+        }
+        self.chunks.append(data)
+        self.offset += len(data)
+
+
+def _offsets_of(blobs: Sequence[bytes]) -> np.ndarray:
+    """Cumulative ``uint64`` offsets (n+1 entries) for packed blobs."""
+    out = np.zeros(len(blobs) + 1, dtype=np.uint64)
+    if blobs:
+        np.cumsum([len(b) for b in blobs], out=out[1:])
+    return out
+
+
+@dataclass
+class _FieldPayload:
+    """One field's packing input, rows already resolved.
+
+    ``postings[i]`` belongs to ``terms[i]`` and is a list of
+    ``(row, positions_uint32_array)`` with rows strictly increasing.
+    """
+
+    terms: list[str]
+    postings: list[list[tuple[int, np.ndarray]]]
+    has_field: np.ndarray  # uint8 per row
+    doc_lens: np.ndarray  # uint32 per row
+
+
+def _pack(
+    path: str,
+    ords: np.ndarray,
+    doc_ids: list,
+    stored_blobs: list[bytes],
+    fields: dict[str, _FieldPayload],
+) -> None:
+    """Lay out sections and atomically write one segment file."""
+    writer = _SectionWriter()
+    # Delta-encoded ordinals: first entry absolute, rest diffs, so a
+    # plain cumsum reconstructs the ordinal array.
+    writer.add("ord_deltas", np.diff(ords, prepend=0).astype(np.uint64))
+
+    id_blobs = [
+        json.dumps(doc_id, ensure_ascii=False).encode("utf-8")
+        for doc_id in doc_ids
+    ]
+    writer.add("doc_id_offsets", _offsets_of(id_blobs))
+    writer.add_bytes("doc_ids", b"".join(id_blobs), "bytes")
+    writer.add("stored_offsets", _offsets_of(stored_blobs))
+    writer.add_bytes("stored", b"".join(stored_blobs), "bytes")
+
+    fields_meta: dict[str, dict] = {}
+    for field_name in sorted(fields):
+        payload = fields[field_name]
+        prefix = f"f:{field_name}:"
+        term_blobs = [t.encode("utf-8") for t in payload.terms]
+        writer.add(prefix + "term_offsets", _offsets_of(term_blobs))
+        writer.add_bytes(prefix + "terms", b"".join(term_blobs), "bytes")
+
+        post_offsets = np.zeros(len(payload.terms) + 1, dtype=np.uint64)
+        row_deltas: list[np.ndarray] = []
+        tfs: list[int] = []
+        position_arrays: list[np.ndarray] = []
+        pos_counts: list[int] = []
+        for t_idx, postings in enumerate(payload.postings):
+            rows = np.asarray([row for row, _ in postings], dtype=np.int64)
+            if len(rows) > 1 and not np.all(np.diff(rows) > 0):
+                raise SegmentFormatError(
+                    f"postings for {payload.terms[t_idx]!r} are not "
+                    "ordinal-sorted"
+                )
+            row_deltas.append(np.diff(rows, prepend=0).astype(np.uint32))
+            post_offsets[t_idx + 1] = post_offsets[t_idx] + len(postings)
+            for _, positions in postings:
+                tfs.append(len(positions))
+                position_arrays.append(positions)
+                pos_counts.append(len(positions))
+        writer.add(prefix + "post_offsets", post_offsets)
+        writer.add(
+            prefix + "post_rows",
+            np.concatenate(row_deltas)
+            if row_deltas
+            else np.zeros(0, dtype=np.uint32),
+        )
+        writer.add(prefix + "post_tf", np.asarray(tfs, dtype=np.uint32))
+        pos_offsets = np.zeros(len(pos_counts) + 1, dtype=np.uint64)
+        if pos_counts:
+            np.cumsum(pos_counts, out=pos_offsets[1:])
+        writer.add(prefix + "pos_offsets", pos_offsets)
+        writer.add(
+            prefix + "positions",
+            np.concatenate(position_arrays)
+            if position_arrays
+            else np.zeros(0, dtype=np.uint32),
+        )
+        writer.add(prefix + "has_field", payload.has_field)
+        writer.add(prefix + "doc_lens", payload.doc_lens)
+        fields_meta[field_name] = {
+            "n_terms": len(payload.terms),
+            "n_postings": int(post_offsets[-1]),
+            "n_documents": int(payload.has_field.sum()),
+            "total_length": int(
+                payload.doc_lens[payload.has_field == 1].sum()
+            ),
+        }
+
+    meta = {
+        "version": 1,
+        "n_docs": len(doc_ids),
+        "base_ord": int(ords[0]),
+        "max_ord": int(ords[-1]),
+        "fields": fields_meta,
+        "sections": writer.sections,
+    }
+    meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    header = (
+        MAGIC
+        + len(meta_blob).to_bytes(4, "little")
+        + meta_blob
+        + zlib.crc32(meta_blob).to_bytes(4, "little")
+    )
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(header)
+        handle.write(b"\x00" * _pad(len(header)))
+        for chunk in writer.chunks:
+            handle.write(chunk)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def write_segment(
+    path: str,
+    docs: Sequence[tuple[int, Any, dict]],
+    field_indexes: dict[str, InvertedIndex],
+) -> None:
+    """Pack a batch of documents into one immutable segment file.
+
+    Args:
+        path: destination file (written atomically via ``.tmp`` +
+            rename).
+        docs: ``(doc_ord, doc_id, stored_fields)`` sorted by ordinal.
+        field_indexes: per-field in-memory indexes whose postings cover
+            exactly the ordinals in ``docs`` (the engine's seal buffer).
+
+    Raises:
+        SegmentFormatError: ``docs`` is empty or not ordinal-sorted.
+    """
+    if not docs:
+        raise SegmentFormatError("cannot write an empty segment")
+    ords = np.asarray([ord_ for ord_, _, _ in docs], dtype=np.int64)
+    if len(ords) > 1 and not np.all(np.diff(ords) > 0):
+        raise SegmentFormatError("segment docs must be ordinal-sorted")
+    row_of = {int(ord_): row for row, ord_ in enumerate(ords)}
+
+    fields: dict[str, _FieldPayload] = {}
+    for field_name, index in field_indexes.items():
+        terms = index.terms()
+        postings = [
+            [
+                (row_of[p.doc_ord], np.asarray(p.positions, dtype=np.uint32))
+                for p in index.postings(term)
+            ]
+            for term in terms
+        ]
+        has_field = np.zeros(len(docs), dtype=np.uint8)
+        doc_lens = np.zeros(len(docs), dtype=np.uint32)
+        for ord_i, row in row_of.items():
+            if index.has_document(ord_i):
+                has_field[row] = 1
+                doc_lens[row] = index.doc_length(ord_i)
+        fields[field_name] = _FieldPayload(terms, postings, has_field, doc_lens)
+
+    stored_blobs = [
+        json.dumps(stored, ensure_ascii=False, sort_keys=True).encode("utf-8")
+        for _, _, stored in docs
+    ]
+    _pack(path, ords, [doc_id for _, doc_id, _ in docs], stored_blobs, fields)
+
+
+@dataclass(frozen=True, slots=True)
+class _Section:
+    offset: int
+    length: int
+    dtype: str
+    crc: int
+
+
+class _FieldReader:
+    """Zero-copy views over one field's packed postings."""
+
+    __slots__ = (
+        "name",
+        "terms",
+        "post_offsets",
+        "post_rows",
+        "post_tf",
+        "pos_offsets",
+        "positions",
+        "has_field",
+        "doc_lens",
+        "n_documents",
+        "total_length",
+    )
+
+    def __init__(self, name: str, segment: "Segment", meta: dict):
+        self.name = name
+        prefix = f"f:{name}:"
+        term_offsets = segment._array(prefix + "term_offsets")
+        term_blob = segment._raw(prefix + "terms")
+        self.terms = [
+            bytes(
+                term_blob[int(term_offsets[i]) : int(term_offsets[i + 1])]
+            ).decode("utf-8")
+            for i in range(len(term_offsets) - 1)
+        ]
+        self.post_offsets = segment._array(prefix + "post_offsets")
+        self.post_rows = segment._array(prefix + "post_rows")
+        self.post_tf = segment._array(prefix + "post_tf")
+        self.pos_offsets = segment._array(prefix + "pos_offsets")
+        self.positions = segment._array(prefix + "positions")
+        self.has_field = segment._array(prefix + "has_field")
+        self.doc_lens = segment._array(prefix + "doc_lens")
+        self.n_documents = int(meta["n_documents"])
+        self.total_length = int(meta["total_length"])
+
+    def term_index(self, term: str) -> int:
+        """Position of ``term`` in the sorted dictionary, or -1."""
+        i = bisect_left(self.terms, term)
+        if i < len(self.terms) and self.terms[i] == term:
+            return i
+        return -1
+
+    def postings_arrays(
+        self, term: str
+    ) -> tuple[np.ndarray, np.ndarray, int] | None:
+        """``(rows, tfs, first_posting_index)`` for a term, or None.
+
+        ``rows`` are absolute row indexes into the segment's document
+        table, decoded from the on-disk delta array.
+        """
+        t_idx = self.term_index(term)
+        if t_idx < 0:
+            return None
+        lo = int(self.post_offsets[t_idx])
+        hi = int(self.post_offsets[t_idx + 1])
+        rows = np.cumsum(self.post_rows[lo:hi], dtype=np.int64)
+        return rows, self.post_tf[lo:hi], lo
+
+    def posting_positions(self, posting_index: int) -> np.ndarray:
+        """The packed position list of one posting."""
+        lo = int(self.pos_offsets[posting_index])
+        hi = int(self.pos_offsets[posting_index + 1])
+        return self.positions[lo:hi]
+
+
+class Segment:
+    """A read-only, memory-mapped index segment.
+
+    Example:
+        >>> segment = Segment.open("seg-000001.seg")  # doctest: +SKIP
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._file = open(path, "rb")
+        self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        if self._map[: len(MAGIC)] != MAGIC:
+            raise SegmentFormatError(f"{path}: bad magic")
+        meta_len = int.from_bytes(
+            self._map[len(MAGIC) : len(MAGIC) + 4], "little"
+        )
+        meta_start = len(MAGIC) + 4
+        meta_blob = bytes(self._map[meta_start : meta_start + meta_len])
+        crc = int.from_bytes(
+            self._map[meta_start + meta_len : meta_start + meta_len + 4],
+            "little",
+        )
+        if zlib.crc32(meta_blob) != crc:
+            raise SegmentFormatError(f"{path}: meta checksum mismatch")
+        meta = json.loads(meta_blob.decode("utf-8"))
+        if meta.get("version") != 1:
+            raise SegmentFormatError(
+                f"{path}: unsupported segment version {meta.get('version')!r}"
+            )
+        header_len = meta_start + meta_len + 4
+        self._payload_base = header_len + _pad(header_len)
+        self._sections = {
+            name: _Section(**entry)
+            for name, entry in meta["sections"].items()
+        }
+        self.n_docs = int(meta["n_docs"])
+        self.base_ord = int(meta["base_ord"])
+        self.max_ord = int(meta["max_ord"])
+        self.ords = np.cumsum(self._array("ord_deltas"), dtype=np.int64)
+        id_offsets = self._array("doc_id_offsets")
+        id_blob = self._raw("doc_ids")
+        self.doc_ids = [
+            json.loads(
+                bytes(
+                    id_blob[int(id_offsets[i]) : int(id_offsets[i + 1])]
+                ).decode("utf-8")
+            )
+            for i in range(self.n_docs)
+        ]
+        self._stored_offsets = self._array("stored_offsets")
+        self._stored_blob = self._raw("stored")
+        self.fields = {
+            name: _FieldReader(name, self, field_meta)
+            for name, field_meta in meta["fields"].items()
+        }
+
+    @classmethod
+    def open(cls, path: str) -> "Segment":
+        return cls(path)
+
+    # -- raw access ---------------------------------------------------------
+
+    def _section(self, name: str) -> _Section:
+        section = self._sections.get(name)
+        if section is None:
+            raise SegmentFormatError(f"{self.path}: no section {name!r}")
+        return section
+
+    def _raw(self, name: str) -> memoryview:
+        section = self._section(name)
+        start = self._payload_base + section.offset
+        return memoryview(self._map)[start : start + section.length]
+
+    def _array(self, name: str) -> np.ndarray:
+        section = self._section(name)
+        dtype = _DTYPES.get(section.dtype)
+        if dtype is None:
+            raise SegmentFormatError(
+                f"{self.path}: section {name!r} has non-array dtype "
+                f"{section.dtype!r}"
+            )
+        return np.frombuffer(self._raw(name), dtype=dtype)
+
+    # -- documents ----------------------------------------------------------
+
+    def row_of(self, doc_ord: int) -> int:
+        """Row index of an ordinal, or -1 when not in this segment."""
+        i = int(np.searchsorted(self.ords, doc_ord))
+        if i < self.n_docs and int(self.ords[i]) == doc_ord:
+            return i
+        return -1
+
+    def stored(self, row: int) -> dict:
+        """The stored fields of one document row (decoded lazily)."""
+        lo = int(self._stored_offsets[row])
+        hi = int(self._stored_offsets[row + 1])
+        return json.loads(bytes(self._stored_blob[lo:hi]).decode("utf-8"))
+
+    def stored_raw(self, row: int) -> bytes:
+        """The stored-fields JSON blob of one row, undecoded."""
+        lo = int(self._stored_offsets[row])
+        hi = int(self._stored_offsets[row + 1])
+        return bytes(self._stored_blob[lo:hi])
+
+    # -- integrity ----------------------------------------------------------
+
+    def verify(self) -> None:
+        """Check every section's crc32 (one full pass over the file).
+
+        Raises:
+            SegmentFormatError: a payload section is corrupt.
+        """
+        for name, section in self._sections.items():
+            if zlib.crc32(bytes(self._raw(name))) != section.crc:
+                raise SegmentFormatError(
+                    f"{self.path}: checksum mismatch in section {name!r}"
+                )
+
+    def close(self) -> None:
+        """Drop this segment's views and unmap the file.
+
+        Zero-copy arrays handed out earlier (readers, in-flight
+        composites) keep the buffer exported; in that case the mmap is
+        left for the garbage collector — the file descriptor is closed
+        either way, so an unlinked segment file is reclaimed by the OS
+        once the last view dies.
+        """
+        self.fields = {}
+        self._stored_offsets = None
+        self._stored_blob = None
+        try:
+            self._map.close()
+        except BufferError:
+            pass
+        self._file.close()
+
+    def __len__(self) -> int:
+        return self.n_docs
+
+
+def merge_segments(
+    out_path: str,
+    inputs: Sequence[tuple[Segment, np.ndarray | None]],
+) -> int:
+    """Compact segments into one, dropping deleted rows.
+
+    Args:
+        out_path: destination file.
+        inputs: ``(segment, deleted_mask)`` pairs in ordinal order
+            (every ordinal in segment *i* below every ordinal in
+            segment *i+1*, which is how the engine seals them);
+            ``deleted_mask`` is a boolean row mask (None = no deletes).
+
+    Returns:
+        The number of live documents written.
+
+    Raises:
+        SegmentFormatError: every input row is deleted (a merge that
+            would produce an empty segment — drop the inputs instead).
+    """
+    live_masks: list[np.ndarray] = []
+    new_row_maps: list[np.ndarray] = []
+    base = 0
+    for segment, deleted in inputs:
+        if deleted is None:
+            live = np.ones(segment.n_docs, dtype=bool)
+        else:
+            live = ~deleted
+        live_masks.append(live)
+        # Old row -> new row for live rows (junk values on dead rows).
+        new_rows = np.cumsum(live, dtype=np.int64) - 1 + base
+        new_row_maps.append(new_rows)
+        base += int(live.sum())
+    if base == 0:
+        raise SegmentFormatError("merge would produce an empty segment")
+
+    ords_parts = []
+    doc_ids: list = []
+    stored_blobs: list[bytes] = []
+    for (segment, _), live in zip(inputs, live_masks):
+        rows = np.flatnonzero(live)
+        ords_parts.append(segment.ords[rows])
+        for row in rows:
+            row = int(row)
+            doc_ids.append(segment.doc_ids[row])
+            stored_blobs.append(segment.stored_raw(row))
+    ords = np.concatenate(ords_parts)
+    if len(ords) > 1 and not np.all(np.diff(ords) > 0):
+        raise SegmentFormatError("merge inputs are not in ordinal order")
+
+    field_names = sorted(
+        {name for segment, _ in inputs for name in segment.fields}
+    )
+    fields: dict[str, _FieldPayload] = {}
+    for name in field_names:
+        readers = [segment.fields.get(name) for segment, _ in inputs]
+        candidate_terms = list(
+            dict.fromkeys(
+                heap_merge(*(r.terms for r in readers if r is not None))
+            )
+        )
+        terms: list[str] = []
+        postings: list[list[tuple[int, np.ndarray]]] = []
+        for term in candidate_terms:
+            merged: list[tuple[int, np.ndarray]] = []
+            for reader, live, new_rows in zip(
+                readers, live_masks, new_row_maps
+            ):
+                if reader is None:
+                    continue
+                decoded = reader.postings_arrays(term)
+                if decoded is None:
+                    continue
+                rows, _tfs, first = decoded
+                for local, row in enumerate(rows):
+                    row = int(row)
+                    if not live[row]:
+                        continue
+                    merged.append(
+                        (
+                            int(new_rows[row]),
+                            np.asarray(
+                                reader.posting_positions(first + local),
+                                dtype=np.uint32,
+                            ),
+                        )
+                    )
+            # Terms whose every posting was deleted drop out of the
+            # dictionary, exactly as in a cold rebuild.
+            if merged:
+                terms.append(term)
+                postings.append(merged)
+        has_parts = []
+        len_parts = []
+        for reader, live in zip(readers, live_masks):
+            rows = np.flatnonzero(live)
+            if reader is None:
+                has_parts.append(np.zeros(len(rows), dtype=np.uint8))
+                len_parts.append(np.zeros(len(rows), dtype=np.uint32))
+            else:
+                has_parts.append(np.asarray(reader.has_field)[rows])
+                len_parts.append(np.asarray(reader.doc_lens)[rows])
+        fields[name] = _FieldPayload(
+            terms,
+            postings,
+            np.concatenate(has_parts),
+            np.concatenate(len_parts),
+        )
+
+    _pack(out_path, ords.astype(np.int64), doc_ids, stored_blobs, fields)
+    return len(doc_ids)

@@ -9,6 +9,7 @@ synonyms).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import Counter
 from dataclasses import dataclass
 
@@ -35,6 +36,11 @@ class QuerySuggester:
     def __init__(self):
         self._weights: Counter[str] = Counter()
         self._sources: dict[str, str] = {}
+        # Prefix index: a sorted list of lookup keys (each term plus
+        # each of its words) and key -> terms, so a keystroke costs a
+        # bisect plus the matches instead of a vocabulary scan.
+        self._entries: list[str] = []
+        self._entry_terms: dict[str, set[str]] = {}
 
     def add_term(
         self, term: str, weight: int = 1, source: str = "corpus"
@@ -43,6 +49,14 @@ class QuerySuggester:
         key = term.strip().lower()
         if not key:
             return
+        if key not in self._weights:
+            for entry in {key, *key.split()}:
+                terms = self._entry_terms.get(entry)
+                if terms is None:
+                    self._entry_terms[entry] = {key}
+                    insort(self._entries, entry)
+                else:
+                    terms.add(key)
         self._weights[key] += weight
         # Corpus evidence wins over ontology provenance.
         if source == "corpus" or key not in self._sources:
@@ -72,14 +86,21 @@ class QuerySuggester:
         needle = prefix.strip().lower()
         if not needle:
             return []
-        hits = []
-        for term, weight in self._weights.items():
-            if term.startswith(needle) or any(
-                word.startswith(needle) for word in term.split()
-            ):
-                hits.append(
-                    Suggestion(term, weight, self._sources.get(term, "corpus"))
-                )
+        # All index keys extending the needle form one contiguous run
+        # of the sorted entry list.
+        matched: set[str] = set()
+        i = bisect_left(self._entries, needle)
+        while i < len(self._entries) and self._entries[i].startswith(
+            needle
+        ):
+            matched.update(self._entry_terms[self._entries[i]])
+            i += 1
+        hits = [
+            Suggestion(
+                term, self._weights[term], self._sources.get(term, "corpus")
+            )
+            for term in matched
+        ]
         hits.sort(key=lambda s: (-s.weight, s.text))
         return hits[:limit]
 

@@ -7,8 +7,10 @@ from repro.serving.engine import ShardedSearchEngine
 from repro.serving.graph import ShardedPropertyGraph
 from repro.serving.ir import ShardedIrIndexer, ShardedIrSearcher
 from repro.serving.router import ShardRouter
+from repro.serving.segment_shards import ProcessShardedSegmentEngine
 
 __all__ = [
+    "ProcessShardedSegmentEngine",
     "QueryCache",
     "ShardRouter",
     "ShardedIrIndexer",

@@ -66,9 +66,20 @@ class QueryCache:
         self.hits += 1
         return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Store a value stamped with the current epoch vector."""
-        self._entries[key] = (self._epochs(), value)
+    def put(
+        self, key: Hashable, value: Any, stamp: tuple | None = None
+    ) -> None:
+        """Store a value stamped with an epoch vector.
+
+        Callers that compute ``value`` outside the cache (a query
+        fan-out) pass the vector they captured *before* computing, so a
+        mutation racing the computation makes the entry stale-on-
+        arrival instead of masking itself behind a fresh stamp.  With
+        ``stamp=None`` the current vector is used.
+        """
+        if stamp is None:
+            stamp = self._epochs()
+        self._entries[key] = (stamp, value)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -176,15 +176,20 @@ class ShardedSearchEngine:
             query = {self.default_field: query}
             query = {"match": query}
         key = None
+        stamp = None
         if self.cache is not None:
             key = (_canonical(query), size)
             cached = self.cache.get(key)
             if cached is not None:
                 self._record_search(start, cached=True)
                 return list(cached)
+            # Capture the epoch vector BEFORE the fan-out: a mutation
+            # landing while shards compute must make this entry stale
+            # at store time, not get papered over by a fresh stamp.
+            stamp = self.router.epochs()
         hits = self._fan_out(query, size)
         if self.cache is not None:
-            self.cache.put(key, list(hits))
+            self.cache.put(key, list(hits), stamp=stamp)
         self._record_search(start, cached=False)
         return hits
 

@@ -1,0 +1,416 @@
+"""Process-parallel shard serving over mmap'd immutable segments.
+
+``ProcessShardedSegmentEngine`` partitions documents across N
+:class:`~repro.search.segment_engine.SegmentSearchEngine` shards (one
+segment directory per shard) and executes query fan-out on a
+**persistent process pool** — each worker process mmaps its shard's
+segments once per manifest generation and keeps them warm across
+queries, so fan-out costs IPC of a query dict and a top-k id/score
+list instead of GIL-bound Python scoring.
+
+Exact rank equivalence works as in the thread-sharded engine, but the
+corpus statistics have to cross a process boundary: the parent walks
+the query, collects every ``(field, term)`` the execution will score,
+aggregates live ``N`` / total length / ``df`` across all shards, and
+ships that small payload with the query.  Workers score through a
+stats-override composite, so per-document BM25 contributions are
+bit-identical to the unsharded in-memory engine.
+
+The parent keeps its own engine instances for mutations, statistics
+and stored-field resolution; workers are pure readers of the on-disk
+segment directories (delete bitmaps included — they live in each
+shard's manifest).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import SearchError
+from repro.runtime.executor import BatchExecutor
+from repro.search.engine import ScoredHit, SearchEngine
+from repro.search.segment_engine import SegmentSearchEngine
+from repro.serving.cache import QueryCache
+from repro.serving.engine import _canonical, _ShardJournal
+from repro.serving.router import ShardRouter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.metrics import MetricsRegistry
+
+
+class _PayloadStats:
+    """Corpus statistics reconstructed from a shipped payload."""
+
+    __slots__ = ("n_documents", "total_length", "_df")
+
+    def __init__(self, n_documents: int, total_length: int, df: dict):
+        self.n_documents = n_documents
+        self.total_length = total_length
+        self._df = df
+
+    def document_frequency(self, term: str) -> int:
+        return self._df.get(term, 0)
+
+
+# Per-process cache: shard directory -> (manifest generation, engine).
+# Worker processes are single-threaded; no locking needed.
+_WORKER_ENGINES: dict[str, tuple[int, SegmentSearchEngine]] = {}
+
+
+def _worker_search(task: tuple) -> list[tuple]:
+    """Run one query on one shard inside a pool worker.
+
+    ``task`` is ``(shard_dir, generation, field_analyzers,
+    default_field, query, size, stats_payload)``.  Returns the shard's
+    local top-``size`` as ``(doc_id, score)`` pairs; the parent merges
+    and resolves stored fields from its own engines.
+    """
+    (
+        shard_dir,
+        generation,
+        field_analyzers,
+        default_field,
+        query,
+        size,
+        stats_payload,
+    ) = task
+    cached = _WORKER_ENGINES.get(shard_dir)
+    if cached is None or cached[0] != generation:
+        if cached is not None:
+            cached[1].close()
+        engine = SegmentSearchEngine(
+            field_analyzers,
+            default_field=default_field,
+            segment_dir=shard_dir,
+        )
+        _WORKER_ENGINES[shard_dir] = (generation, engine)
+    else:
+        engine = cached[1]
+    stats = {
+        field: _PayloadStats(
+            payload["n"], payload["total"], payload["df"]
+        )
+        for field, payload in stats_payload.items()
+    }
+    engine.stats_provider = lambda field: stats[field]
+    try:
+        hits = engine.search(query, size=size)
+    finally:
+        engine.stats_provider = None
+    return [(hit.doc_id, hit.score) for hit in hits]
+
+
+class ProcessShardedSegmentEngine:
+    """N-way segment-sharded search served by process workers.
+
+    Args:
+        n_shards: partition count.
+        segment_root: directory holding one ``shard-K`` segment
+            directory per shard.
+        field_analyzers / default_field: as for
+            :class:`~repro.search.engine.SearchEngine`.
+        cache_size: epoch-validated query-cache entries (0 disables).
+        flush_threshold / merge_factor: per-shard segment policy.
+        mode: executor mode — ``"process"`` (default) for the real
+            worker pool, ``"serial"`` to run fan-out inline (tests).
+        metrics: registry for serving counters.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        segment_root: str,
+        field_analyzers: dict[str, dict] | None = None,
+        default_field: str = "body",
+        cache_size: int = 256,
+        flush_threshold: int = 4096,
+        merge_factor: int = 8,
+        mode: str = "process",
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        if n_shards < 1:
+            raise SearchError(f"n_shards must be >= 1, got {n_shards}")
+        self.segment_root = str(segment_root)
+        os.makedirs(self.segment_root, exist_ok=True)
+        self.router = ShardRouter(n_shards)
+        self.default_field = default_field
+        self.metrics = metrics
+        self._field_analyzers = dict(field_analyzers or {})
+        self.shards: list[SegmentSearchEngine] = [
+            SegmentSearchEngine(
+                field_analyzers,
+                default_field=default_field,
+                segment_dir=os.path.join(self.segment_root, f"shard-{i}"),
+                flush_threshold=flush_threshold,
+                merge_factor=merge_factor,
+            )
+            for i in range(n_shards)
+        ]
+        self.cache = (
+            QueryCache(cache_size, self.router.epochs) if cache_size else None
+        )
+        if mode == "process":
+            _ensure_child_import_path()
+        self._executor = BatchExecutor(
+            workers=n_shards if mode != "serial" else 1,
+            mode=mode,
+            persistent=True,
+        )
+        self._journal: list | None = None
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_documents(self) -> int:
+        return sum(shard.n_documents for shard in self.shards)
+
+    def shard(self, shard_id: int) -> SegmentSearchEngine:
+        return self.shards[shard_id]
+
+    # -- indexing ----------------------------------------------------------
+
+    def index(self, doc_id: Any, fields: dict[str, str]) -> None:
+        """Index (or re-index) a document on its owning shard."""
+        shard_id = self.router.shard_of(doc_id)
+        self.shards[shard_id].index(doc_id, fields)
+        self.router.bump(shard_id)
+
+    def delete(self, doc_id: Any) -> bool:
+        """Remove a document; returns False when it was absent."""
+        shard_id = self.router.shard_of(doc_id)
+        deleted = self.shards[shard_id].delete(doc_id)
+        if deleted:
+            self.router.bump(shard_id)
+        return deleted
+
+    def flush(self) -> None:
+        """Seal every shard's write buffer (workers only see sealed
+        documents, so this runs automatically before each fan-out)."""
+        for shard in self.shards:
+            shard.flush()
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, query: str | dict, size: int = 10) -> list[ScoredHit]:
+        """Top ``size`` hits, exactly as the unsharded engine ranks
+        them, computed by the worker pool on cache miss."""
+        start = time.perf_counter()
+        if isinstance(query, str):
+            query = {"match": {self.default_field: query}}
+        key = None
+        stamp = None
+        if self.cache is not None:
+            key = (_canonical(query), size)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._record_search(start, cached=True)
+                return list(cached)
+            stamp = self.router.epochs()
+        hits = self._fan_out(query, size)
+        if self.cache is not None:
+            self.cache.put(key, list(hits), stamp=stamp)
+        self._record_search(start, cached=False)
+        return hits
+
+    def _fan_out(self, query: dict, size: int) -> list[ScoredHit]:
+        self.flush()
+        field_terms: dict[str, set] = {}
+        self._collect_field_terms(query, field_terms)
+        stats_payload = {
+            field: self._field_payload(field, terms)
+            for field, terms in field_terms.items()
+        }
+        tasks = [
+            (
+                shard.segment_dir,
+                shard.generation,
+                self._field_analyzers,
+                self.default_field,
+                query,
+                size,
+                stats_payload,
+            )
+            for shard in self.shards
+        ]
+        outcomes = self._executor.map(_worker_search, tasks)
+        merged: list[tuple] = []
+        for shard_id, outcome in enumerate(outcomes):
+            if not outcome.ok:
+                raise outcome.error
+            if self.metrics is not None:
+                self.metrics.record(
+                    f"serving.segshard{shard_id}.search_seconds",
+                    outcome.duration,
+                )
+            merged.extend(outcome.value)
+        merged.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        hits = []
+        for doc_id, score in merged[:size]:
+            shard = self.shards[self.router.shard_of(doc_id)]
+            hits.append(ScoredHit(doc_id, score, shard._source(doc_id)))
+        return hits
+
+    def _field_payload(self, field: str, terms: set) -> dict:
+        composites = [shard.field_stats(field) for shard in self.shards]
+        return {
+            "n": sum(c.n_documents for c in composites),
+            "total": sum(c.total_length for c in composites),
+            "df": {
+                term: sum(c.document_frequency(term) for c in composites)
+                for term in sorted(terms)
+            },
+        }
+
+    def _collect_field_terms(
+        self, query: dict, out: dict[str, set]
+    ) -> None:
+        """Gather every (field, term) the execution of ``query`` will
+        score, mirroring the engine's dispatch (and its validation
+        errors, so malformed queries fail identically)."""
+        if not isinstance(query, dict) or len(query) != 1:
+            raise SearchError(
+                "query must be a dict with exactly one top-level clause"
+            )
+        kind, body = next(iter(query.items()))
+        analyzer_of = self.shards[0]._analyzer_for
+        if kind == "match":
+            field, text = SearchEngine._unpack(body, "match")
+            out.setdefault(field, set()).update(
+                analyzer_of(field).terms(str(text))
+            )
+        elif kind == "match_phrase":
+            field, text = SearchEngine._unpack(body, "match_phrase")
+            tokens = analyzer_of(field).analyze(str(text))
+            by_position: dict[int, str] = {}
+            for token in tokens:
+                current = by_position.get(token.position)
+                if current is None or len(token.term) > len(current):
+                    by_position[token.position] = token.term
+            out.setdefault(field, set()).update(by_position.values())
+        elif kind == "term":
+            field, value = SearchEngine._unpack(body, "term")
+            out.setdefault(field, set()).add(str(value))
+        elif kind == "multi_match":
+            if not isinstance(body, dict) or "query" not in body:
+                raise SearchError("multi_match requires a query")
+            text = str(body["query"])
+            fields = body.get("fields") or [self.default_field]
+            for spec in fields:
+                field, _, boost_text = str(spec).partition("^")
+                if boost_text:
+                    try:
+                        float(boost_text)
+                    except ValueError as exc:
+                        raise SearchError(
+                            f"bad field boost: {spec!r}"
+                        ) from exc
+                out.setdefault(field, set()).update(
+                    analyzer_of(field).terms(text)
+                )
+        elif kind == "bool":
+            if not isinstance(body, dict):
+                raise SearchError("bool body must be a dict")
+            for clause in ("must", "should", "must_not"):
+                for sub in body.get(clause, []):
+                    self._collect_field_terms(sub, out)
+        elif kind == "match_all":
+            pass
+        else:
+            raise SearchError(f"unknown query clause: {kind!r}")
+
+    def _record_search(self, start: float, cached: bool) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.increment("serving.segments.searches")
+        if cached:
+            self.metrics.increment("serving.segments.cache_hits")
+        else:
+            self.metrics.increment("serving.segments.cache_misses")
+        self.metrics.record(
+            "serving.segments.search_seconds", time.perf_counter() - start
+        )
+
+    def highlight(
+        self, doc_id: Any, field: str, query_text: str, window: int = 60
+    ) -> list[str]:
+        """Snippets from the owning shard's stored copy."""
+        shard_id = self.router.shard_of(doc_id)
+        return self.shards[shard_id].highlight(
+            doc_id, field, query_text, window=window
+        )
+
+    def close(self) -> None:
+        """Shut the worker pool down and release segment mmaps."""
+        self._executor.close()
+        for shard in self.shards:
+            shard.close()
+
+    # -- durability (repro.durability.Durable protocol) --------------------
+
+    @property
+    def journal(self) -> list | None:
+        return self._journal
+
+    @journal.setter
+    def journal(self, value: list | None) -> None:
+        self._journal = value
+        for shard_id, shard in enumerate(self.shards):
+            shard.journal = (
+                _ShardJournal(self, shard_id) if value is not None else None
+            )
+
+    def durable_apply(self, op: dict) -> None:
+        shard_id = int(op["shard"])
+        self.shards[shard_id].durable_apply(op["o"])
+        self.router.bump(shard_id)
+
+    def durable_snapshot(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "shards": [shard.durable_snapshot() for shard in self.shards],
+        }
+
+    def durable_restore(self, state: dict) -> None:
+        if int(state.get("n_shards", -1)) != self.n_shards:
+            raise SearchError(
+                f"snapshot has {state.get('n_shards')} shards, engine has "
+                f"{self.n_shards}"
+            )
+        for shard_id, shard_state in enumerate(state["shards"]):
+            self.shards[shard_id].durable_restore(shard_state)
+            self.router.bump(shard_id)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        out = {
+            "n_shards": self.n_shards,
+            "epochs": list(self.router.epochs()),
+            "shard_documents": [shard.n_documents for shard in self.shards],
+            "shard_segments": [shard.n_segments for shard in self.shards],
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
+
+def _ensure_child_import_path() -> None:
+    """Make ``repro`` importable in spawn/forkserver pool children.
+
+    Spawned children re-import the worker module from scratch; when the
+    package was put on ``sys.path`` by hand (PYTHONPATH=src, test
+    harnesses), export that path so the children inherit it.
+    """
+    import repro
+
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__))
+    )
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = existing.split(os.pathsep) if existing else []
+    if package_root not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([package_root] + parts)

@@ -42,6 +42,7 @@ from repro.testing.oracles import (
     reference_closure,
 )
 from repro.testing.rng import case_rng
+from repro.testing.segments import check_segment_case
 from repro.testing.serving import check_serving_case
 
 SUBSYSTEMS = (
@@ -52,6 +53,7 @@ SUBSYSTEMS = (
     "invariants",
     "durability",
     "serving",
+    "segments",
 )
 
 _TOLERANCE = 1e-8
@@ -102,6 +104,50 @@ def _search_once(engine, query):
     return list(hits)
 
 
+def _postings_order_invariant(engine, field_analyzers) -> str | None:
+    """Mutate-vs-rebuild: after any op stream, every postings list must
+    be strictly doc-ord ascending and order-equivalent to a cold
+    rebuild of the surviving documents.
+
+    This is the invariant the segment writer depends on (it packs
+    postings as within-term delta arrays) and the one the old
+    append-at-tail ``InvertedIndex.add_document`` violated for
+    re-added ordinals.
+    """
+    live = sorted(engine._ids_by_ordinal.items())
+    rebuilt = SearchEngine(field_analyzers)
+    for _, doc_id in live:
+        rebuilt.index(doc_id, engine._sources[doc_id])
+    for field_name, index in engine._indexes.items():
+        other = rebuilt._indexes.get(field_name)
+        terms = index.terms()
+        if sorted(terms) != sorted(other.terms() if other else []):
+            return (
+                f"field {field_name!r} vocabulary diverged from rebuild"
+            )
+        doc_of = engine._ids_by_ordinal
+        rebuilt_doc_of = rebuilt._ids_by_ordinal
+        for term in terms:
+            posts = index.postings(term)
+            ords = [p.doc_ord for p in posts]
+            if any(a >= b for a, b in zip(ords, ords[1:])):
+                return (
+                    f"postings for {field_name}:{term!r} not strictly "
+                    f"doc-ord ascending: {ords}"
+                )
+            got = [(doc_of[p.doc_ord], p.positions) for p in posts]
+            want = [
+                (rebuilt_doc_of[p.doc_ord], p.positions)
+                for p in other.postings(term)
+            ]
+            if got != want:
+                return (
+                    f"postings for {field_name}:{term!r} diverged from "
+                    f"cold rebuild: {got!r} vs {want!r}"
+                )
+    return None
+
+
 def check_search_case(case: dict) -> str | None:
     if case.get("analyzer") not in ANALYZER_CONFIGS:
         return None  # malformed (post-shrink) case: vacuous
@@ -125,6 +171,9 @@ def check_search_case(case: dict) -> str | None:
                 f"doc count diverged after {op!r}: "
                 f"{engine.n_documents} vs {reference.n_documents}"
             )
+    message = _postings_order_invariant(engine, field_analyzers)
+    if message is not None:
+        return message
     for query in case["queries"]:
         got = _search_once(engine, query)
         want = _search_once(reference, query)
@@ -318,6 +367,7 @@ GENERATORS = {
     "invariants": generators.gen_invariants_case,
     "durability": generators.gen_durability_case,
     "serving": generators.gen_serving_case,
+    "segments": generators.gen_segment_case,
 }
 
 CHECKERS = {
@@ -328,6 +378,7 @@ CHECKERS = {
     "invariants": check_invariants_case,
     "durability": check_durability_case,
     "serving": check_serving_case,
+    "segments": check_segment_case,
 }
 
 

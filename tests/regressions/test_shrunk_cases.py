@@ -86,3 +86,58 @@ class TestPhraseGapRegression:
         engine.index("d1", {"body": "pain was patient"})
         hits = engine.search({"match_phrase": {"body": "pain was patient"}})
         assert [hit.doc_id for hit in hits] == ["d1"]
+
+
+# Found by: the mutate-vs-rebuild postings-order invariant (ISSUE 6).
+# ``InvertedIndex.add_document`` appended postings at the tail, so
+# adding a document with an ordinal below an existing one (the
+# delete-then-reinsert path segment sealing relies on) left postings
+# out of doc-ord order — breaking delta-encoded packing and making
+# score accumulation order diverge from a cold rebuild.
+POSTINGS_REINSERT_CASE = {
+    "analyzer": "whitespace",
+    "ops": [
+        {
+            "op": "index",
+            "id": "d0",
+            "fields": {"body": "renal fever", "title": ""},
+        },
+        {
+            "op": "index",
+            "id": "d1",
+            "fields": {"body": "renal cough", "title": ""},
+        },
+        {"op": "delete", "id": "d0"},
+        {
+            "op": "index",
+            "id": "d0",
+            "fields": {"body": "renal fever", "title": ""},
+        },
+    ],
+    "queries": [{"match": {"body": "renal"}}],
+}
+
+
+class TestPostingsOrderRegression:
+    def test_harness_agrees(self):
+        assert check_case("search", POSTINGS_REINSERT_CASE) is None
+
+    def test_direct_behaviour(self):
+        from repro.search.analysis import AnalyzedToken
+        from repro.search.inverted_index import InvertedIndex
+
+        def tokens(*terms):
+            return [
+                AnalyzedToken(term, i, i, i + 1)
+                for i, term in enumerate(terms)
+            ]
+
+        index = InvertedIndex()
+        index.add_document(1, tokens("renal"))
+        index.add_document(2, tokens("renal"))
+        # Re-adding a lower ordinal must insert at its sorted slot, not
+        # the tail.
+        index.add_document(1, tokens("renal", "fever"))
+        assert [p.doc_ord for p in index.postings("renal")] == [1, 2]
+        index.add_document(0, tokens("renal"))
+        assert [p.doc_ord for p in index.postings("renal")] == [0, 1, 2]

@@ -94,3 +94,38 @@ class TestEnginePhraseGaps:
         engine.index("d1", {"body": "fever cough"})  # no stopword gap
         hits = engine.search({"match_phrase": {"body": "fever and cough"}})
         assert hits == []
+
+
+class TestOffsetsAtDocumentBoundaries:
+    """Explicit ``offsets`` where the match touches a document edge."""
+
+    def test_gap_phrase_starting_at_position_zero(self):
+        ix = InvertedIndex()
+        ix.add_document(0, _tokens("chest", "pain", positions=[0, 2]))
+        assert ix.phrase_positions(0, ["chest", "pain"], [0, 2]) == [0]
+
+    def test_gap_phrase_ending_at_final_position(self):
+        ix = InvertedIndex()
+        ix.add_document(
+            0, _tokens("mild", "chest", "pain", positions=[0, 3, 5])
+        )
+        assert ix.phrase_positions(0, ["chest", "pain"], [3, 5]) == [3]
+
+    def test_gap_phrase_overhanging_document_end(self):
+        ix = InvertedIndex()
+        # Pattern demands a term 3 past the start; the document ends at
+        # position 1, so nothing can match.
+        ix.add_document(0, _tokens("chest", "pain", positions=[0, 1]))
+        assert ix.phrase_positions(0, ["chest", "pain"], [0, 3]) == []
+
+    def test_single_term_phrase_with_offset(self):
+        ix = InvertedIndex()
+        ix.add_document(0, _tokens("pain", positions=[4]))
+        # A one-term pattern normalizes any offset away: every
+        # occurrence is a match, wherever it sits.
+        assert ix.phrase_positions(0, ["pain"], [9]) == [4]
+
+    def test_single_term_phrase_at_position_zero(self):
+        ix = InvertedIndex()
+        ix.add_document(0, _tokens("pain", "relief"))
+        assert ix.phrase_positions(0, ["pain"], [0]) == [0]

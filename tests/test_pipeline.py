@@ -79,3 +79,37 @@ class TestPipelineRun:
         stats = pipeline.ingest_from_site(site)
         assert stats.indexed == 3
         assert pipeline.app.handle("GET", "/stats").body["n_reports"] == 3
+
+
+class TestSegmentBackedPipeline:
+    def test_segment_dir_wires_segment_engine(self, demo_system, tmp_path):
+        from repro.search.segment_engine import SegmentSearchEngine
+
+        trained, _ = demo_system
+        pipeline = CreatePipeline(
+            extractor=trained.extractor,
+            segment_dir=str(tmp_path / "segments"),
+        )
+        assert isinstance(pipeline.indexer.engine, SegmentSearchEngine)
+        generator = CaseReportGenerator(seed=956)
+        reports = [generator.generate(f"segp-{i}") for i in range(3)]
+        site = SyntheticPubMed(reports, seed=1)
+        stats = pipeline.ingest_from_site(site)
+        assert stats.indexed == 3
+        # Sealed + buffered docs both serve through the searcher.
+        pipeline.indexer.engine.flush()
+        report = reports[0]
+        symptom = report.annotations.spans_with_label("Sign_symptom")[0]
+        results = pipeline.searcher.search(symptom.text, size=8)
+        assert any(r.doc_id == report.pmid for r in results)
+
+    def test_sharded_config_ignores_segment_dir(self, demo_system, tmp_path):
+        from repro.serving import ShardedIrIndexer
+
+        trained, _ = demo_system
+        pipeline = CreatePipeline(
+            extractor=trained.extractor,
+            serving_shards=2,
+            segment_dir=str(tmp_path / "unused"),
+        )
+        assert isinstance(pipeline.indexer, ShardedIrIndexer)

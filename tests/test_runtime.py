@@ -212,3 +212,67 @@ class TestStageFailure:
             "bad content",
             3,
         )
+
+
+class TestExecutorStartMethod:
+    def test_fork_avoided_while_threads_are_live(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=stop.wait)
+        worker.start()
+        try:
+            ctx = BatchExecutor._mp_context()
+            # Forking with a live thread risks deadlocking the child on
+            # locks the thread holds; a thread-safe method must win.
+            assert ctx.get_start_method() in ("forkserver", "spawn")
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_context_method_is_always_available(self):
+        import multiprocessing
+
+        ctx = BatchExecutor._mp_context()
+        assert ctx.get_start_method() in (
+            multiprocessing.get_all_start_methods()
+        )
+
+    def test_process_map_works_with_live_threads(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=stop.wait)
+        worker.start()
+        try:
+            executor = BatchExecutor(workers=2, mode="process")
+            outcomes = executor.map(_square, [2, 3])
+            assert [o.value for o in outcomes] == [4, 9]
+        finally:
+            stop.set()
+            worker.join()
+
+
+class TestPersistentPool:
+    def test_pool_object_reused_across_batches(self):
+        executor = BatchExecutor(workers=2, mode="thread", persistent=True)
+        try:
+            assert [o.value for o in executor.map(_square, [1, 2])] == [1, 4]
+            pool = executor._live_pool
+            assert pool is not None
+            assert [o.value for o in executor.map(_square, [3])] == [9]
+            assert executor._live_pool is pool
+        finally:
+            executor.close()
+        assert executor._live_pool is None
+
+    def test_close_is_idempotent_and_pool_reopens(self):
+        executor = BatchExecutor(workers=2, mode="thread", persistent=True)
+        executor.close()
+        executor.close()
+        with executor:
+            assert [o.value for o in executor.map(_square, [5])] == [25]
+        assert executor._live_pool is None
+
+    def test_persistent_process_pool(self):
+        with BatchExecutor(
+            workers=2, mode="process", persistent=True
+        ) as executor:
+            assert [o.value for o in executor.map(_square, [4])] == [16]
+            assert [o.value for o in executor.map(_square, [5])] == [25]

@@ -112,3 +112,28 @@ class TestEngineHighlight:
     def test_unknown_doc_empty(self):
         engine = create_ir_engine()
         assert engine.highlight("missing", "body", "fever") == []
+
+
+class TestHighlightBoundarySnapping:
+    def test_window_snaps_left_to_word_start(self):
+        snippets = highlight(ANALYZER, "xx abcdef fever", "fever", window=3)
+        assert snippets == ["…abcdef <em>fever</em>"]
+
+    def test_window_snaps_right_to_word_end_at_eof(self):
+        snippets = highlight(ANALYZER, "fever abcdefgh", "fever", window=3)
+        assert snippets == ["<em>fever</em> abcdefgh"]
+
+    def test_match_at_offset_zero_has_no_leading_ellipsis(self):
+        text = "fever then a very long tail of unrelated narrative text"
+        snippets = highlight(ANALYZER, text, "fever", window=5)
+        assert snippets[0].startswith("<em>fever</em>")
+        assert not snippets[0].startswith("…")
+
+    def test_match_at_eof_has_no_trailing_ellipsis(self):
+        text = "a very long prefix of unrelated narrative then fever"
+        snippets = highlight(ANALYZER, text, "fever", window=5)
+        assert snippets[0].endswith("<em>fever</em>")
+
+    def test_whole_text_window_has_no_ellipses(self):
+        snippets = highlight(ANALYZER, "mild fever today", "fever", window=60)
+        assert snippets == ["mild <em>fever</em> today"]

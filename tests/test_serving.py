@@ -94,6 +94,29 @@ def test_cache_rejects_bad_capacity():
         QueryCache(0, lambda: (0,))
 
 
+def test_cache_put_racing_epoch_bump_is_stale_on_arrival():
+    # A fan-out captures the epoch vector, computes results, and only
+    # then stores them.  If a mutation lands in between, the entry must
+    # be stamped with the *captured* vector so it can never be served.
+    epochs = [0, 0]
+    cache = QueryCache(4, lambda: tuple(epochs))
+    stamp = tuple(epochs)  # captured before the (slow) fan-out
+    epochs[0] += 1  # a write races the query computation
+    cache.put("q", ["stale-results"], stamp=stamp)
+    assert cache.get("q") is None
+    assert cache.stats()["stale_drops"] == 1
+    # A fresh computation under the new vector caches normally.
+    cache.put("q", ["fresh-results"], stamp=tuple(epochs))
+    assert cache.get("q") == ["fresh-results"]
+
+
+def test_cache_put_default_stamp_is_current_vector():
+    epochs = [0]
+    cache = QueryCache(4, lambda: tuple(epochs))
+    cache.put("q", [1])
+    assert cache.get("q") == [1]
+
+
 # -- sharded engine: exactness -----------------------------------------------
 
 

@@ -144,3 +144,57 @@ class TestApiEndpoints:
     def test_suggest_requires_prefix(self, demo_system):
         pipeline, _ = demo_system
         assert pipeline.app.handle("GET", "/suggest").status == 400
+
+
+class TestSuggesterPrefixIndexEquivalence:
+    """The sorted-entry bisect index must return exactly what a linear
+    scan over the vocabulary returns, for every prefix."""
+
+    @staticmethod
+    def _reference_suggest(suggester, prefix, limit=8):
+        needle = prefix.strip().lower()
+        if not needle:
+            return []
+        hits = [
+            (term, weight)
+            for term, weight in suggester._weights.items()
+            if term.startswith(needle)
+            or any(word.startswith(needle) for word in term.split())
+        ]
+        hits.sort(key=lambda item: (-item[1], item[0]))
+        return [term for term, _ in hits[:limit]]
+
+    def test_equivalent_on_random_vocabulary(self):
+        import random
+
+        rng = random.Random(42)
+        words = [
+            "fever", "fevers", "chest", "cheast", "pain", "painful",
+            "amiodarone", "amio", "renal", "rena", "cough", "c",
+        ]
+        suggester = QuerySuggester()
+        for _ in range(120):
+            term = " ".join(
+                rng.choice(words) for _ in range(rng.randint(1, 3))
+            )
+            suggester.add_term(term, weight=rng.randint(0, 5))
+        prefixes = [w[:k] for w in words for k in range(1, len(w) + 1)]
+        for prefix in prefixes:
+            got = [s.text for s in suggester.suggest(prefix, limit=50)]
+            want = self._reference_suggest(suggester, prefix, limit=50)
+            assert got == want, f"prefix {prefix!r}"
+
+    def test_no_false_positives_for_mid_word_infix(self):
+        suggester = QuerySuggester()
+        suggester.add_term("amiodarone")
+        # "oda" appears inside the word but no word starts with it.
+        assert suggester.suggest("oda") == []
+
+    def test_entry_list_stays_sorted_under_interleaved_adds(self):
+        suggester = QuerySuggester()
+        for term in ["zzz", "aaa", "mmm case", "bbb", "aaa zzz"]:
+            suggester.add_term(term)
+        assert suggester._entries == sorted(suggester._entries)
+        assert [s.text for s in suggester.suggest("zz")] == [
+            "aaa zzz", "zzz",
+        ]

@@ -39,6 +39,7 @@ GATE_BENCHMARKS = {
     "pipeline_parallel": "benchmarks/bench_pipeline_parallel.py",
     "wal_overhead": "benchmarks/bench_wal_overhead.py",
     "segment_serving": "benchmarks/bench_segment_serving.py",
+    "graph_match": "benchmarks/bench_graph_match.py",
 }
 
 

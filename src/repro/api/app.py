@@ -344,6 +344,9 @@ class CreateApplication:
             "graph_edges": self.indexer.graph.n_edges,
             "indexer": self.indexer.stats(),
         }
+        planner_stats = getattr(self.indexer.graph, "planner_stats", None)
+        if planner_stats is not None:
+            payload["planner"] = planner_stats()
         if self.runtime_stats is not None:
             payload["pipeline"] = self.runtime_stats()
         if self.serving_stats is not None:

@@ -13,6 +13,13 @@ from repro.graphdb.match import (
     EdgePattern,
     GraphPattern,
     match_pattern,
+    match_pattern_unplanned,
+)
+from repro.graphdb.planner import (
+    PlanStep,
+    QueryPlan,
+    explain_pattern,
+    plan_pattern,
 )
 from repro.graphdb.cypher import CypherEngine
 from repro.graphdb.traverse import (
@@ -29,6 +36,11 @@ __all__ = [
     "EdgePattern",
     "GraphPattern",
     "match_pattern",
+    "match_pattern_unplanned",
+    "PlanStep",
+    "QueryPlan",
+    "plan_pattern",
+    "explain_pattern",
     "CypherEngine",
     "shortest_path",
     "connected_components",

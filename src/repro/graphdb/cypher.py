@@ -6,6 +6,10 @@ graphs:
 * ``CREATE (a:Label {k: 'v'}), (a)-[:REL]->(b:Label {...})``
 * ``MATCH (a:Label {k: 'v'})-[r:REL]->(b) WHERE a.k CONTAINS 'x'
   RETURN a, b.k, r LIMIT 10``
+* ``EXPLAIN MATCH ...`` — run the statement through the cost-based
+  planner and return one row per plan step (estimated vs. actual
+  cardinality) plus a final ``result`` summary row instead of the
+  match rows; output is stable for a fixed graph + query.
 
 Node labels map to the ``_label`` node property; relationship types map
 to edge labels.  ``WHERE`` supports ``=``, ``<>``, ``CONTAINS`` and
@@ -44,7 +48,7 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = frozenset(
     {
         "CREATE", "MATCH", "WHERE", "RETURN", "LIMIT", "AND",
-        "CONTAINS", "ORDER", "BY", "DESC", "ASC", "COUNT",
+        "CONTAINS", "ORDER", "BY", "DESC", "ASC", "COUNT", "EXPLAIN",
     }
 )
 
@@ -337,6 +341,9 @@ class CypherEngine:
             return self._run_create(parser)
         if head.value == "MATCH":
             return self._run_match(parser)
+        if head.value == "EXPLAIN":
+            parser._expect("keyword", "MATCH")
+            return self._run_match(parser, explain=True)
         raise CypherError(f"unsupported statement: {head.value}")
 
     # -- CREATE ------------------------------------------------------------
@@ -381,7 +388,9 @@ class CypherEngine:
 
     # -- MATCH ---------------------------------------------------------------
 
-    def _run_match(self, parser: _Parser) -> list[dict[str, Any]]:
+    def _run_match(
+        self, parser: _Parser, explain: bool = False
+    ) -> list[dict[str, Any]]:
         nodes, edges = parser.parse_patterns()
         conditions: list[_Condition] = []
         if parser._accept("keyword", "WHERE"):
@@ -428,6 +437,14 @@ class CypherEngine:
                 for e in edges
             ],
         )
+        if explain:
+            # Plan + execute, reporting the plan instead of the rows.
+            # WHERE/RETURN/ORDER/LIMIT are parsed (and validated) but
+            # apply downstream of the pattern match they describe.
+            from repro.graphdb.planner import explain_pattern
+
+            _bindings, rows = explain_pattern(self.graph, pattern)
+            return rows
         bindings = match_pattern(self.graph, pattern)
         bindings = [
             binding

@@ -5,6 +5,13 @@ paper's data model, case-report nodes use ``label`` (a natural-language
 description) and ``entityType`` (the schema type); edges use a relation
 label plus optional properties.  Adjacency is indexed both ways and
 nodes are secondarily indexed by property values for fast lookups.
+
+The graph also maintains exact cardinality statistics — per-edge-label
+counts and, through the property indexes, per-(property, value) node
+counts — plus adjacency lists keyed by ``(node, edge label)``.  Both
+are updated incrementally on every mutation and rebuilt on snapshot
+restore, which is what lets :mod:`repro.graphdb.planner` cost join
+orders without ever scanning the graph.
 """
 
 from __future__ import annotations
@@ -63,6 +70,18 @@ class PropertyGraph:
             lambda: defaultdict(set)
         )
         self._indexed_properties: set[str] = set()
+        # Cardinality statistics + (node, label) adjacency, maintained
+        # incrementally (see module docstring).  The planner reads
+        # these; they never require a scan.
+        self._edge_label_counts: dict[str, int] = {}
+        self._out_by_label: dict[tuple[str, str], list[int]] = defaultdict(
+            list
+        )
+        self._in_by_label: dict[tuple[str, str], list[int]] = defaultdict(
+            list
+        )
+        # Planner observability (not journaled: derived, not state).
+        self.planner_counters: dict[str, int] = {}
         self._next_edge_id = 0
         # Durability journal (repro.durability.Durable protocol): when a
         # manager attaches this graph, each mutation appends one
@@ -122,6 +141,7 @@ class PropertyGraph:
                 self._outgoing[edge.source].remove(edge_id)
             if edge.target != node_id:
                 self._incoming[edge.target].remove(edge_id)
+            self._unindex_edge(edge)
         self._log_op({"op": "remove_node", "id": node_id})
 
     def nodes(self) -> Iterator[Node]:
@@ -149,6 +169,7 @@ class PropertyGraph:
         self._edges[edge.edge_id] = edge
         self._outgoing[source].append(edge.edge_id)
         self._incoming[target].append(edge.edge_id)
+        self._index_edge(edge)
         self._next_edge_id += 1
         self._log_op(
             {
@@ -168,6 +189,7 @@ class PropertyGraph:
             return
         self._outgoing[edge.source].remove(edge_id)
         self._incoming[edge.target].remove(edge_id)
+        self._unindex_edge(edge)
         self._log_op({"op": "remove_edge", "id": edge_id})
 
     def edges(self) -> Iterator[Edge]:
@@ -179,18 +201,36 @@ class PropertyGraph:
         return len(self._edges)
 
     def out_edges(self, node_id: str, label: str | None = None) -> list[Edge]:
-        """Outgoing edges of a node, optionally filtered by label."""
-        edges = [self._edges[eid] for eid in self._outgoing.get(node_id, ())]
+        """Outgoing edges of a node, optionally filtered by label.
+
+        Label-filtered lookups hit the ``(node, label)`` adjacency
+        index directly instead of scanning the node's full edge list.
+        """
         if label is not None:
-            edges = [e for e in edges if e.label == label]
-        return edges
+            ids = self._out_by_label.get((node_id, label), ())
+        else:
+            ids = self._outgoing.get(node_id, ())
+        return [self._edges[eid] for eid in ids]
 
     def in_edges(self, node_id: str, label: str | None = None) -> list[Edge]:
         """Incoming edges of a node, optionally filtered by label."""
-        edges = [self._edges[eid] for eid in self._incoming.get(node_id, ())]
         if label is not None:
-            edges = [e for e in edges if e.label == label]
-        return edges
+            ids = self._in_by_label.get((node_id, label), ())
+        else:
+            ids = self._incoming.get(node_id, ())
+        return [self._edges[eid] for eid in ids]
+
+    def out_degree(self, node_id: str, label: str | None = None) -> int:
+        """Outgoing edge count, without materializing the edges."""
+        if label is not None:
+            return len(self._out_by_label.get((node_id, label), ()))
+        return len(self._outgoing.get(node_id, ()))
+
+    def in_degree(self, node_id: str, label: str | None = None) -> int:
+        """Incoming edge count, without materializing the edges."""
+        if label is not None:
+            return len(self._in_by_label.get((node_id, label), ()))
+        return len(self._incoming.get(node_id, ()))
 
     def neighbors(self, node_id: str) -> set[str]:
         """Ids of nodes adjacent in either direction."""
@@ -241,6 +281,55 @@ class PropertyGraph:
                 out.append(node)
         out.sort(key=lambda n: n.node_id)
         return out
+
+    # -- cardinality statistics (planner inputs) ---------------------------------
+
+    def edge_label_counts(self) -> dict[str, int]:
+        """Exact live-edge count per edge label."""
+        return dict(self._edge_label_counts)
+
+    def edge_label_count(self, label: str) -> int:
+        """Exact live-edge count for one label (0 when absent)."""
+        return self._edge_label_counts.get(label, 0)
+
+    def property_value_count(self, key: str, value: Any) -> int | None:
+        """Exact node count for ``key == value``, or None when ``key``
+        is not indexed (the planner then falls back to ``n_nodes``)."""
+        if key not in self._indexed_properties or not _hashable(value):
+            return None
+        return len(self._property_index.get(key, {}).get(value, ()))
+
+    def statistics(self) -> dict:
+        """Snapshot of every cardinality the planner consults.
+
+        Exact at all times: maintained incrementally on add/delete and
+        rebuilt from scratch on snapshot restore, so it equals what a
+        cold rebuild of the same graph would report.
+        """
+        return {
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "edge_labels": dict(sorted(self._edge_label_counts.items())),
+            "indexed_properties": {
+                key: {
+                    "n_values": len(self._property_index.get(key, {})),
+                    "n_indexed_nodes": sum(
+                        len(bucket)
+                        for bucket in self._property_index.get(
+                            key, {}
+                        ).values()
+                    ),
+                }
+                for key in sorted(self._indexed_properties)
+            },
+        }
+
+    def planner_stats(self) -> dict:
+        """The ``/stats`` planner section: counters + statistics."""
+        return {
+            "counters": dict(sorted(self.planner_counters.items())),
+            "statistics": self.statistics(),
+        }
 
     # -- durability (repro.durability.Durable protocol) -------------------------
 
@@ -298,6 +387,9 @@ class PropertyGraph:
         self._incoming.clear()
         self._property_index.clear()
         self._indexed_properties.clear()
+        self._edge_label_counts.clear()
+        self._out_by_label.clear()
+        self._in_by_label.clear()
         for key in state.get("indexed_properties", ()):
             self._indexed_properties.add(key)
         for node_id, props in state.get("nodes", ()):
@@ -309,6 +401,7 @@ class PropertyGraph:
             self._edges[edge.edge_id] = edge
             self._outgoing[source].append(edge.edge_id)
             self._incoming[target].append(edge.edge_id)
+            self._index_edge(edge)
         self._next_edge_id = int(state.get("next_edge_id", 0))
 
     # -- internals --------------------------------------------------------------
@@ -323,7 +416,35 @@ class PropertyGraph:
         for key in self._indexed_properties:
             value = node.properties.get(key)
             if _hashable(value):
-                self._property_index[key][value].discard(node.node_id)
+                bucket = self._property_index[key]
+                ids = bucket.get(value)
+                if ids is not None:
+                    ids.discard(node.node_id)
+                    if not ids:
+                        del bucket[value]
+
+    def _index_edge(self, edge: Edge) -> None:
+        self._edge_label_counts[edge.label] = (
+            self._edge_label_counts.get(edge.label, 0) + 1
+        )
+        self._out_by_label[(edge.source, edge.label)].append(edge.edge_id)
+        self._in_by_label[(edge.target, edge.label)].append(edge.edge_id)
+
+    def _unindex_edge(self, edge: Edge) -> None:
+        count = self._edge_label_counts.get(edge.label, 0) - 1
+        if count > 0:
+            self._edge_label_counts[edge.label] = count
+        else:
+            self._edge_label_counts.pop(edge.label, None)
+        for index, key in (
+            (self._out_by_label, (edge.source, edge.label)),
+            (self._in_by_label, (edge.target, edge.label)),
+        ):
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.remove(edge.edge_id)
+                if not bucket:
+                    del index[key]
 
 
 def _hashable(value: Any) -> bool:

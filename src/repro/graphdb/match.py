@@ -2,8 +2,16 @@
 
 A :class:`GraphPattern` is a small query graph of variable-named node
 patterns connected by edge patterns; :func:`match_pattern` enumerates
-all bindings of pattern variables to graph nodes via backtracking,
-most-constrained-variable first.
+all bindings of pattern variables to graph nodes, executing the
+join order chosen by the cost-based planner
+(:mod:`repro.graphdb.planner`): scan the most selective variable,
+expand the rest along ``(node, edge label)`` adjacency.
+
+:func:`match_pattern_unplanned` keeps the pre-planner engine —
+backtracking over full per-variable candidate pools, most-constrained
+variable first — as the mid-level reference the benchmark and the fuzz
+harness compare the planner against (the bottom-level oracle is
+``repro.testing.oracles.brute_force_bindings``).
 
 This is the engine behind both mini-Cypher ``MATCH`` and CREATe-IR's
 entity & relation search: a parsed user query becomes a pattern whose
@@ -89,6 +97,10 @@ def match_pattern(
 ) -> list[dict[str, Node]]:
     """All bindings of pattern variables to distinct graph nodes.
 
+    Executes the cost-based plan (most selective variable first,
+    cheapest-edge expansion); the binding *set* is identical to the
+    exhaustive enumerator's and the order is deterministic.
+
     Args:
         graph: the data graph.
         pattern: the query pattern (validated internally).
@@ -96,6 +108,28 @@ def match_pattern(
 
     Returns:
         A list of ``{var: Node}`` dicts; deterministic order.
+    """
+    from repro.graphdb.planner import execute_plan, plan_pattern
+
+    pattern.validate()
+    if not pattern.nodes:
+        return []
+    plan = plan_pattern(graph, pattern)
+    return execute_plan(graph, pattern, plan, limit=limit)
+
+
+def match_pattern_unplanned(
+    graph: PropertyGraph,
+    pattern: GraphPattern,
+    limit: int | None = None,
+) -> list[dict[str, Node]]:
+    """The pre-planner matcher, kept verbatim as a reference.
+
+    Materializes every variable's full candidate pool and backtracks
+    most-constrained-variable first, checking pattern edges by
+    scanning the source node's complete edge list.  Same binding set
+    as :func:`match_pattern`; used by ``bench_graph_match`` as the
+    speedup baseline and by the fuzz harness as a second oracle.
     """
     pattern.validate()
     if not pattern.nodes:

@@ -78,12 +78,22 @@ def connected_components(graph: PropertyGraph) -> list[list[str]]:
 
 
 def degree_stats(graph: PropertyGraph) -> dict[str, float]:
-    """Degree summary over the whole graph (for portal dashboards)."""
+    """Degree summary over the whole graph (for portal dashboards).
+
+    Includes the per-edge-label histogram the graph maintains for the
+    planner, so dashboards see the same cardinalities queries plan on.
+    """
     nodes = list(graph.nodes())
     if not nodes:
-        return {"n_nodes": 0, "n_edges": 0, "mean_degree": 0.0, "max_degree": 0}
+        return {
+            "n_nodes": 0,
+            "n_edges": 0,
+            "mean_degree": 0.0,
+            "max_degree": 0,
+            "edge_labels": {},
+        }
     degrees = [
-        len(graph.out_edges(node.node_id)) + len(graph.in_edges(node.node_id))
+        graph.out_degree(node.node_id) + graph.in_degree(node.node_id)
         for node in nodes
     ]
     return {
@@ -91,4 +101,5 @@ def degree_stats(graph: PropertyGraph) -> dict[str, float]:
         "n_edges": graph.n_edges,
         "mean_degree": sum(degrees) / len(degrees),
         "max_degree": max(degrees),
+        "edge_labels": graph.edge_label_counts(),
     }

@@ -43,6 +43,9 @@ class ShardedPropertyGraph:
         self.shards: list[PropertyGraph] = [
             PropertyGraph() for _ in range(n_shards)
         ]
+        # Facade-level executor slot; per-shard matches land on the
+        # shard graphs' own counters (see merged_planner_counters).
+        self.planner_counters: dict[str, int] = {}
         self._journal: list | None = None
 
     @property
@@ -156,6 +159,78 @@ class ShardedPropertyGraph:
         if shard_id is None:
             return set()
         return self.shards[shard_id].neighbors(node_id)
+
+    def out_degree(self, node_id: str, label: str | None = None) -> int:
+        shard_id = self._owning_shard(node_id)
+        if shard_id is None:
+            return 0
+        return self.shards[shard_id].out_degree(node_id, label)
+
+    def in_degree(self, node_id: str, label: str | None = None) -> int:
+        shard_id = self._owning_shard(node_id)
+        if shard_id is None:
+            return 0
+        return self.shards[shard_id].in_degree(node_id, label)
+
+    # -- cardinality statistics (planner inputs) ---------------------------
+
+    def edge_label_counts(self) -> dict[str, int]:
+        """Per-label edge counts summed across shards."""
+        merged: dict[str, int] = {}
+        for shard in self.shards:
+            for label, count in shard.edge_label_counts().items():
+                merged[label] = merged.get(label, 0) + count
+        return merged
+
+    def edge_label_count(self, label: str) -> int:
+        return sum(shard.edge_label_count(label) for shard in self.shards)
+
+    def property_value_count(self, key: str, value: Any) -> int | None:
+        """Cross-shard node count for ``key == value``; None when any
+        shard cannot answer exactly (unindexed key)."""
+        total = 0
+        for shard in self.shards:
+            count = shard.property_value_count(key, value)
+            if count is None:
+                return None
+            total += count
+        return total
+
+    def statistics(self) -> dict:
+        """Shard-merged planner statistics (same shape as unsharded)."""
+        merged = {
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "edge_labels": dict(sorted(self.edge_label_counts().items())),
+            "indexed_properties": {},
+        }
+        for shard in self.shards:
+            for key, entry in shard.statistics()["indexed_properties"].items():
+                slot = merged["indexed_properties"].setdefault(
+                    key, {"n_values": 0, "n_indexed_nodes": 0}
+                )
+                # Distinct values may overlap across shards, so this
+                # is an upper bound; indexed-node totals are exact.
+                slot["n_values"] += entry["n_values"]
+                slot["n_indexed_nodes"] += entry["n_indexed_nodes"]
+        return merged
+
+    def merged_planner_counters(self) -> dict[str, int]:
+        """Plan-execution counters: per-shard matches + facade-level
+        matches (``planner_counters`` is the executor's mutable slot,
+        like on the unsharded graph)."""
+        merged = dict(self.planner_counters)
+        for shard in self.shards:
+            for key, count in shard.planner_counters.items():
+                merged[key] = merged.get(key, 0) + count
+        return merged
+
+    def planner_stats(self) -> dict:
+        """The ``/stats`` planner section, aggregated over shards."""
+        return {
+            "counters": dict(sorted(self.merged_planner_counters().items())),
+            "statistics": self.statistics(),
+        }
 
     # -- property index ----------------------------------------------------
 

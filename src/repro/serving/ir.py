@@ -156,12 +156,14 @@ class ShardedIrIndexer:
         }
 
     def serving_stats(self) -> dict:
-        """The ``/stats`` serving section: shards, epochs, caches."""
+        """The ``/stats`` serving section: shards, epochs, caches, and
+        the graph planner's cardinality statistics + plan counters."""
         return {
             "n_shards": self.n_shards,
             "epochs": list(self.router.epochs()),
             "engine": self.engine.stats(),
             "graph": self.graph.stats(),
+            "planner": self.graph.planner_stats(),
         }
 
 

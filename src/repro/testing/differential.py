@@ -25,7 +25,9 @@ from repro.graphdb.match import (
     NodePattern,
     iter_edge_bindings,
     match_pattern,
+    match_pattern_unplanned,
 )
+from repro.graphdb.planner import explain_pattern
 from repro.ml import infer
 from repro.search.analysis import STANDARD_ANALYZER_CONFIG
 from repro.search.engine import SearchEngine
@@ -33,7 +35,10 @@ from repro.temporal.graph import TemporalGraph
 from repro.temporal.relations import DENSE_ALGEBRA, THREE_WAY_ALGEBRA
 from repro.testing import generators
 from repro.testing.crash import check_durability_case
-from repro.testing.invariants import check_invariants_case
+from repro.testing.invariants import (
+    check_edge_permutation_invariance,
+    check_invariants_case,
+)
 from repro.testing.oracles import (
     ANALYZER_CONFIGS,
     ReferenceSearchEngine,
@@ -48,6 +53,7 @@ from repro.testing.serving import check_serving_case
 SUBSYSTEMS = (
     "search",
     "graph",
+    "planner",
     "crf",
     "temporal",
     "invariants",
@@ -273,6 +279,97 @@ def check_graph_case(case: dict) -> str | None:
     return None
 
 
+def check_planner_case(case: dict) -> str | None:
+    """Planner-aware differential check, four layers deep:
+
+    1. planned ``match_pattern`` vs. the exhaustive oracle (binding-set
+       equivalence, no duplicates);
+    2. planned vs. the preserved pre-planner engine
+       (:func:`match_pattern_unplanned`);
+    3. EXPLAIN: deterministic plan rows across repeated planning, every
+       pattern variable planned exactly once, the summary row's actual
+       cardinality equal to the true result count;
+    4. metamorphic: permuting edge-insertion order changes neither the
+       plan nor the binding set.
+    """
+    try:
+        graph, pattern = _build_graph_case(case)
+        pattern.validate()
+    except Exception:
+        return None  # malformed (post-shrink) case: vacuous
+    expected = {
+        frozenset(binding.items())
+        for binding in brute_force_bindings(graph, pattern)
+    }
+    planned = [
+        frozenset((var, node.node_id) for var, node in binding.items())
+        for binding in match_pattern(graph, pattern)
+    ]
+    if len(planned) != len(set(planned)):
+        return f"planned match returned duplicate bindings: {planned!r}"
+    if set(planned) != expected:
+        return (
+            f"planned bindings diverged from oracle: "
+            f"{sorted(map(sorted, planned))} vs "
+            f"{sorted(map(sorted, expected))}"
+        )
+    unplanned = {
+        frozenset((var, node.node_id) for var, node in binding.items())
+        for binding in match_pattern_unplanned(graph, pattern)
+    }
+    if unplanned != expected:
+        return (
+            f"pre-planner engine diverged from oracle: "
+            f"{sorted(map(sorted, unplanned))} vs "
+            f"{sorted(map(sorted, expected))}"
+        )
+    bindings, rows = explain_pattern(graph, pattern)
+    _again, rows_again = explain_pattern(graph, pattern)
+    if rows != rows_again:
+        return f"EXPLAIN is not deterministic: {rows} vs {rows_again}"
+    explained = {
+        frozenset((var, node.node_id) for var, node in binding.items())
+        for binding in bindings
+    }
+    if explained != expected:
+        return (
+            f"explain_pattern bindings diverged from oracle: "
+            f"{sorted(map(sorted, explained))}"
+        )
+    planned_vars = sorted(
+        row["var"] for row in rows if row["op"] in ("scan", "expand")
+    )
+    pattern_vars = sorted(node.var for node in pattern.nodes)
+    if planned_vars != pattern_vars:
+        return (
+            f"plan covers variables {planned_vars}, pattern has "
+            f"{pattern_vars}: {rows}"
+        )
+    if rows and rows[-1]["op"] == "result":
+        if rows[-1]["actual"] != len(expected):
+            return (
+                f"EXPLAIN result row claims {rows[-1]['actual']} "
+                f"bindings, oracle has {len(expected)}"
+            )
+    limit = case.get("limit")
+    if limit is not None:
+        limited = match_pattern(graph, pattern, limit=limit)
+        if len(limited) != min(limit, len(expected)):
+            return (
+                f"limit={limit} returned {len(limited)} bindings, "
+                f"expected {min(limit, len(expected))}"
+            )
+        for binding in limited:
+            key = frozenset(
+                (var, node.node_id) for var, node in binding.items()
+            )
+            if key not in expected:
+                return f"limited binding {sorted(key)} not admissible"
+    return check_edge_permutation_invariance(
+        case, case.get("permutation_seed", 0)
+    )
+
+
 def check_crf_case(case: dict) -> str | None:
     try:
         emissions = np.asarray(case["emissions"], dtype=float)
@@ -362,6 +459,7 @@ def check_temporal_case(case: dict) -> str | None:
 GENERATORS = {
     "search": generators.gen_search_case,
     "graph": generators.gen_graph_case,
+    "planner": generators.gen_planner_case,
     "crf": generators.gen_crf_case,
     "temporal": generators.gen_temporal_case,
     "invariants": generators.gen_invariants_case,
@@ -373,6 +471,7 @@ GENERATORS = {
 CHECKERS = {
     "search": check_search_case,
     "graph": check_graph_case,
+    "planner": check_planner_case,
     "crf": check_crf_case,
     "temporal": check_temporal_case,
     "invariants": check_invariants_case,

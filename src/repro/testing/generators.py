@@ -156,6 +156,63 @@ def gen_graph_case(rng: Random) -> dict:
     }
 
 
+def gen_planner_case(rng: Random) -> dict:
+    """A graph case sized for the join-order planner, plus a
+    permutation seed for the edge-insertion metamorphic check.
+
+    Compared to :func:`gen_graph_case` the graphs are a little larger
+    (so scan-order choices actually differ) and skewed: one node type
+    dominates, making property selectivity meaningful.  Patterns bias
+    toward multiple edges so expansion order matters.
+    """
+    n_nodes = rng.randint(2, 8)
+    nodes = []
+    for i in range(n_nodes):
+        # Skewed type distribution: ~60% the first type.
+        node_type = (
+            _NODE_TYPES[0]
+            if rng.random() < 0.6
+            else rng.choice(_NODE_TYPES)
+        )
+        nodes.append([f"n{i}", {"entityType": node_type}])
+    edges = []
+    for _ in range(rng.randint(0, 14)):
+        src = f"n{rng.randint(0, n_nodes - 1)}"
+        dst = (
+            src  # self-loops exercise the planner's filter-only path
+            if rng.random() < 0.15
+            else f"n{rng.randint(0, n_nodes - 1)}"
+        )
+        edges.append([src, dst, rng.choice(_EDGE_LABELS)])
+    n_vars = rng.randint(1, min(4, n_nodes))
+    variables = [f"v{i}" for i in range(n_vars)]
+    pattern_nodes = []
+    for var in variables:
+        props = {}
+        if rng.random() < 0.5:
+            props["entityType"] = rng.choice(_NODE_TYPES)
+        pattern_nodes.append([var, props])
+    pattern_edges = []
+    for _ in range(rng.randint(0, 5)):
+        pattern_edges.append(
+            [
+                rng.choice(variables),
+                rng.choice(variables),
+                rng.choice(_EDGE_LABELS + [None]),
+                rng.random() < 0.7,  # directed?
+            ]
+        )
+    return {
+        "nodes": nodes,
+        "edges": edges,
+        "pattern_nodes": pattern_nodes,
+        "pattern_edges": pattern_edges,
+        "limit": rng.choice([None, None, rng.randint(1, 4)]),
+        "index_property": rng.random() < 0.6,
+        "permutation_seed": rng.randint(0, 2**31),
+    }
+
+
 # -- crf ---------------------------------------------------------------------
 
 

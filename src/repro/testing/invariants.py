@@ -12,7 +12,12 @@ under input transformations that provably preserve the answer":
 * duplicating a query term never lowers any document's score (BM25
   idf is strictly positive in the Lucene variant);
 * result fusion is insensitive to the order its input rankings arrive
-  in, and respects the block structure/size contract.
+  in, and respects the block structure/size contract;
+* permuting the edge-insertion order of a property graph changes
+  neither the pattern-match binding set nor the planner's chosen plan
+  (cardinality statistics are exact counts, so estimates — and the
+  greedy join order derived from them — cannot depend on arrival
+  order).
 
 Each check returns ``None`` on success or a human-readable failure
 message.
@@ -23,6 +28,9 @@ from __future__ import annotations
 import random
 from typing import Any
 
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.match import EdgePattern, GraphPattern, NodePattern
+from repro.graphdb.planner import explain_pattern
 from repro.ir.ranking import fuse_results
 from repro.runtime.executor import BatchExecutor
 from repro.search.analysis import STANDARD_ANALYZER_CONFIG, create_analyzer
@@ -280,6 +288,75 @@ def check_fusion_determinism(
     engines = [engine for _doc_id, _score, engine in base]
     if "keyword" in engines and "graph" in engines[engines.index("keyword"):]:
         return f"keyword hit ranked above a graph hit: {base}"
+    return None
+
+
+def _build_planner_graph(case: dict, edges: list) -> tuple:
+    """Build (graph, pattern) from a planner/graph fuzz case, using
+    ``edges`` as the insertion order (may be a permutation of
+    ``case["edges"]``)."""
+    graph = PropertyGraph()
+    for node_id, props in case["nodes"]:
+        graph.add_node(node_id, **props)
+    if case.get("index_property"):
+        graph.create_property_index("entityType")
+    for src, dst, label in edges:
+        graph.add_edge(src, dst, label)
+    pattern = GraphPattern(
+        nodes=[
+            NodePattern(var, properties=tuple(sorted(props.items())))
+            for var, props in case["pattern_nodes"]
+        ],
+        edges=[
+            EdgePattern(src, dst, label=label, directed=bool(directed))
+            for src, dst, label, directed in case["pattern_edges"]
+        ],
+    )
+    return graph, pattern
+
+
+def _binding_set(bindings) -> set:
+    return {
+        frozenset((var, node.node_id) for var, node in binding.items())
+        for binding in bindings
+    }
+
+
+def check_edge_permutation_invariance(
+    case: dict, permutation_seed: int
+) -> str | None:
+    """Edge insertion order must not change bindings or the plan.
+
+    The planner's estimates come from exact counters (label histogram,
+    property-index bucket sizes), all invariant under permutation, and
+    the executor sorts candidate node ids — so both the chosen plan
+    (every EXPLAIN row, estimates included) and the binding set must be
+    bit-identical however the same edge multiset arrives.
+    """
+    try:
+        graph, pattern = _build_planner_graph(case, case["edges"])
+        pattern.validate()
+    except Exception:
+        return None  # malformed (post-shrink) case: vacuous
+    base_bindings, base_rows = explain_pattern(graph, pattern)
+    base_set = _binding_set(base_bindings)
+    rng = random.Random(permutation_seed)
+    for _ in range(3):
+        shuffled = list(case["edges"])
+        rng.shuffle(shuffled)
+        graph2, pattern2 = _build_planner_graph(case, shuffled)
+        bindings, rows = explain_pattern(graph2, pattern2)
+        if rows != base_rows:
+            return (
+                "edge-insertion permutation changed the plan:\n"
+                f"{base_rows}\nvs\n{rows}"
+            )
+        if _binding_set(bindings) != base_set:
+            return (
+                "edge-insertion permutation changed the binding set: "
+                f"{sorted(map(sorted, base_set))} vs "
+                f"{sorted(map(sorted, _binding_set(bindings)))}"
+            )
     return None
 
 

@@ -265,6 +265,12 @@ def brute_force_bindings(
 
     Returns bindings as ``{var: node_id}`` dicts (node *ids*, so results
     compare structurally).
+
+    This is the bottom-level oracle for both the ``graph`` and
+    ``planner`` fuzz subsystems: it never consults cardinality
+    statistics or adjacency indexes, so a planner bug cannot leak into
+    the expected answer.  (``match_pattern_unplanned`` is the faster
+    mid-level reference, itself checked against this.)
     """
     pattern.validate()
     if not pattern.nodes:

@@ -69,8 +69,11 @@ class CreateApplication:
         runtime_stats: optional callable returning pipeline run
             counters (dead letters, failures) for ``/stats``.
         serving_stats: optional callable returning the sharded serving
-            layer's health (shards, epochs, cache hit rates) for
-            ``/stats``.
+            layer's health (shards, epochs, cache hit rates, replica
+            lag, promotions) for ``/stats``.
+        frontend_stats: optional callable returning the async front
+            end's admission health (shed/timeout/retry counters,
+            per-route latency percentiles) for ``/stats``.
         durability: optional WAL manager; when present, every
             report-mutating request seals its journaled ops into one
             commit record, and ``/stats`` serves WAL/recovery health.
@@ -85,6 +88,7 @@ class CreateApplication:
     metrics: "MetricsRegistry | None" = None
     runtime_stats: Callable[[], dict] | None = None
     serving_stats: Callable[[], dict] | None = None
+    frontend_stats: Callable[[], dict] | None = None
     durability: "DurabilityManager | None" = None
 
     def __post_init__(self) -> None:
@@ -351,6 +355,8 @@ class CreateApplication:
             payload["pipeline"] = self.runtime_stats()
         if self.serving_stats is not None:
             payload["serving"] = self.serving_stats()
+        if self.frontend_stats is not None:
+            payload["frontend"] = self.frontend_stats()
         if self.metrics is not None:
             payload["metrics"] = self.metrics.snapshot()
         if self.durability is not None:

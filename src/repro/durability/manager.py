@@ -23,6 +23,7 @@ commits must not be acknowledged (the fsyncgate lesson).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 from repro.durability.snapshot import SNAPSHOT_NAME, load_snapshot, write_snapshot
@@ -288,9 +289,19 @@ class DurabilityManager:
     def _check_usable(self) -> None:
         if self._failed:
             raise DurabilityError(
-                "durability manager is poisoned after a failed flush; "
-                "recover from disk before committing again"
+                "durability manager is poisoned after a failed flush on "
+                f"{self._wal_location()} (last durable LSN "
+                f"{self.durable_lsn}); recover from disk before "
+                "committing again"
             )
+
+    def _wal_location(self) -> str:
+        """Operator-facing WAL path: directory-qualified when the
+        filesystem has a real root, bare log name otherwise."""
+        root = getattr(self.fs, "root", None)
+        if root is not None:
+            return str(Path(root) / self.wal.name)
+        return self.wal.name
 
     @staticmethod
     def _quiet_apply(store: Durable, op: dict) -> None:

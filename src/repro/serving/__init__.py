@@ -1,17 +1,27 @@
 """Sharded query serving: partitioned indexes, parallel fan-out
-search with exact top-k merge, and an invalidation-correct query
-cache."""
+search with exact top-k merge, an invalidation-correct query cache,
+per-shard read replicas with WAL-shipped failover, and an
+admission-controlled asyncio front end."""
 
 from repro.serving.cache import QueryCache
 from repro.serving.engine import ShardedSearchEngine
+from repro.serving.frontend import Route, ServingFrontend
 from repro.serving.graph import ShardedPropertyGraph
 from repro.serving.ir import ShardedIrIndexer, ShardedIrSearcher
+from repro.serving.replica import (
+    ReplicatedShardedSearchEngine,
+    ShardReplicaSet,
+)
 from repro.serving.router import ShardRouter
 from repro.serving.segment_shards import ProcessShardedSegmentEngine
 
 __all__ = [
     "ProcessShardedSegmentEngine",
     "QueryCache",
+    "ReplicatedShardedSearchEngine",
+    "Route",
+    "ServingFrontend",
+    "ShardReplicaSet",
     "ShardRouter",
     "ShardedIrIndexer",
     "ShardedIrSearcher",

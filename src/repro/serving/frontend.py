@@ -1,0 +1,274 @@
+"""Asyncio front end: bounded admission, deadlines, retry, shedding.
+
+:class:`ServingFrontend` is the request edge of the serving tier.  It
+wraps the synchronous engines (sharded/replicated search, graph, IR)
+behind named routes and enforces the three SLO behaviors the engines
+themselves cannot:
+
+* **Bounded admission.**  At most ``max_concurrency`` requests execute
+  at once and at most ``queue_limit`` requests exist in the system
+  (executing + queued).  A request arriving past the limit is rejected
+  *immediately* with :class:`~repro.exceptions.LoadShedError` — the
+  fast-rejection path costs microseconds, so overload degrades into
+  cheap 429s instead of an unbounded queue where every request
+  eventually times out (collapse).
+* **Deadlines.**  Every request carries a deadline budget that covers
+  queueing *and* execution; when it runs out the caller gets
+  :class:`~repro.exceptions.DeadlineExceededError` instead of waiting
+  on a stuck backend.  The handler thread may still be running — the
+  executor slot is reclaimed when it finishes, which is why admission
+  is bounded by queue depth rather than thread count alone.
+* **Retry with backoff.**  Transient backend errors (by default
+  :class:`~repro.exceptions.ReplicaError`, i.e. a read that raced a
+  primary crash before failover promoted a replica) are retried with
+  exponential backoff while deadline budget remains — the retry lands
+  on the promoted replica.
+
+Everything is counted into :class:`~repro.runtime.metrics`
+(``serving.frontend.*``): sheds, timeouts, retries, completions, and
+per-route latency timers whose p50/p99 surface through ``/stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    LoadShedError,
+    ServingError,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """One registered handler and its per-route policy."""
+
+    name: str
+    fn: Callable[..., Any]
+    deadline: float | None
+    retryable: bool
+
+
+class ServingFrontend:
+    """Admission-controlled async facade over synchronous engines.
+
+    Args:
+        max_concurrency: handler threads executing simultaneously.
+        queue_limit: total in-flight requests (executing + waiting);
+            arrivals beyond it are shed.  This is the bounded queue —
+            it must be finite or overload queues toward collapse.
+        default_deadline: seconds of total budget per request unless
+            the route or call overrides it.
+        max_retries: extra attempts for retryable errors.
+        backoff: initial retry sleep, doubled per attempt.
+        retry_on: exception types treated as transient.
+        metrics: shared registry (private one when omitted).
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 4,
+        queue_limit: int = 32,
+        default_deadline: float = 1.0,
+        max_retries: int = 1,
+        backoff: float = 0.02,
+        retry_on: tuple[type[BaseException], ...] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_concurrency < 1:
+            raise ServingError("max_concurrency must be >= 1")
+        if queue_limit < max_concurrency:
+            raise ServingError(
+                f"queue_limit ({queue_limit}) must be >= max_concurrency "
+                f"({max_concurrency})"
+            )
+        self.max_concurrency = max_concurrency
+        self.queue_limit = queue_limit
+        self.default_deadline = default_deadline
+        self.max_retries = max(0, int(max_retries))
+        self.backoff = backoff
+        if retry_on is None:
+            from repro.exceptions import ReplicaError
+
+            retry_on = (ReplicaError,)
+        self.retry_on = retry_on
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._routes: dict[str, Route] = {}
+        self._semaphore = asyncio.Semaphore(max_concurrency)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_concurrency,
+            thread_name_prefix="serving-frontend",
+        )
+        self._inflight = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        deadline: float | None = None,
+        retryable: bool = True,
+    ) -> None:
+        """Expose ``fn`` as route ``name``.
+
+        ``deadline`` overrides the front-end default for this route;
+        ``retryable=False`` opts writes (non-idempotent handlers) out
+        of automatic retry.
+        """
+        if name in self._routes:
+            raise ServingError(f"route {name!r} already registered")
+        self._routes[name] = Route(name, fn, deadline, retryable)
+
+    # -- request path ------------------------------------------------------
+
+    async def handle(
+        self,
+        route_name: str,
+        *args,
+        deadline: float | None = None,
+        **kwargs,
+    ) -> Any:
+        """Run one request through admission, deadline, and retry.
+
+        Raises:
+            LoadShedError: rejected at admission (queue full).
+            DeadlineExceededError: budget exhausted while queued or
+                executing.
+            ServingError: unknown route.
+            Exception: whatever the handler raised, after retries.
+        """
+        route = self._routes.get(route_name)
+        if route is None:
+            raise ServingError(f"unknown route {route_name!r}")
+        start = time.perf_counter()
+        if self._inflight >= self.queue_limit:
+            # Fast rejection: no queueing, no waiting, just a cheap,
+            # honest 429 before the request costs anything.
+            self.metrics.increment("serving.frontend.shed")
+            self.metrics.record(
+                f"serving.frontend.{route_name}.shed_seconds",
+                time.perf_counter() - start,
+            )
+            raise LoadShedError(
+                f"route {route_name!r} shed at admission: "
+                f"{self._inflight}/{self.queue_limit} requests in flight"
+            )
+        budget = (
+            deadline
+            if deadline is not None
+            else route.deadline
+            if route.deadline is not None
+            else self.default_deadline
+        )
+        self._inflight += 1
+        self.metrics.increment("serving.frontend.admitted")
+        try:
+            value = await self._execute(route, budget, start, args, kwargs)
+            self.metrics.increment("serving.frontend.completed")
+            self.metrics.record(
+                f"serving.frontend.{route_name}.seconds",
+                time.perf_counter() - start,
+            )
+            return value
+        except DeadlineExceededError:
+            self.metrics.increment("serving.frontend.timeouts")
+            raise
+        except LoadShedError:
+            raise
+        except BaseException:
+            self.metrics.increment("serving.frontend.errors")
+            raise
+        finally:
+            self._inflight -= 1
+
+    async def _execute(
+        self, route: Route, budget: float, start: float, args, kwargs
+    ) -> Any:
+        """Semaphore-gated execution with deadline-bounded retries."""
+        attempt = 0
+        pause = self.backoff
+        loop = asyncio.get_running_loop()
+        while True:
+            remaining = budget - (time.perf_counter() - start)
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"route {route.name!r} exhausted its {budget:.3f}s "
+                    f"deadline while queued"
+                )
+            try:
+                async with self._semaphore:
+                    remaining = budget - (time.perf_counter() - start)
+                    if remaining <= 0:
+                        raise DeadlineExceededError(
+                            f"route {route.name!r} exhausted its "
+                            f"{budget:.3f}s deadline waiting for a worker"
+                        )
+                    future = loop.run_in_executor(
+                        self._pool,
+                        lambda: route.fn(*args, **kwargs),
+                    )
+                    try:
+                        return await asyncio.wait_for(future, remaining)
+                    except asyncio.TimeoutError:
+                        raise DeadlineExceededError(
+                            f"route {route.name!r} missed its "
+                            f"{budget:.3f}s deadline mid-execution"
+                        ) from None
+            except self.retry_on as exc:
+                attempt += 1
+                if not route.retryable or attempt > self.max_retries:
+                    raise
+                remaining = budget - (time.perf_counter() - start)
+                if remaining <= pause:
+                    raise DeadlineExceededError(
+                        f"route {route.name!r} has no deadline budget "
+                        f"left to retry after {type(exc).__name__}"
+                    ) from exc
+                self.metrics.increment("serving.frontend.retries")
+                await asyncio.sleep(pause)
+                pause *= 2
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Admission/shed/timeout counters and per-route latency
+        percentiles for ``/stats``."""
+        out = {
+            "inflight": self._inflight,
+            "queue_limit": self.queue_limit,
+            "max_concurrency": self.max_concurrency,
+            "counters": {
+                name: self.metrics.counter(f"serving.frontend.{name}")
+                for name in (
+                    "admitted",
+                    "completed",
+                    "shed",
+                    "timeouts",
+                    "retries",
+                    "errors",
+                )
+            },
+            "routes": {},
+        }
+        for name in self._routes:
+            timer = self.metrics.timer_stats(f"serving.frontend.{name}.seconds")
+            if timer is not None:
+                out["routes"][name] = timer.as_dict()
+        return out
+
+    def close(self) -> None:
+        """Release the handler thread pool."""
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

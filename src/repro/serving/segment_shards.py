@@ -115,6 +115,13 @@ class ProcessShardedSegmentEngine:
         flush_threshold / merge_factor: per-shard segment policy.
         mode: executor mode — ``"process"`` (default) for the real
             worker pool, ``"serial"`` to run fan-out inline (tests).
+        query_deadline: seconds each fan-out may spend in the worker
+            pool before the query fails and the pool is recycled
+            (``None`` waits forever).  A hung or killed worker process
+            must not wedge the parent: on a deadline miss the query
+            raises :class:`SearchError`, the stuck workers are
+            terminated, and fresh ones serve the next query (they
+            re-mmap warm segments on first use).
         metrics: registry for serving counters.
     """
 
@@ -128,6 +135,7 @@ class ProcessShardedSegmentEngine:
         flush_threshold: int = 4096,
         merge_factor: int = 8,
         mode: str = "process",
+        query_deadline: float | None = None,
         metrics: "MetricsRegistry | None" = None,
     ):
         if n_shards < 1:
@@ -158,6 +166,8 @@ class ProcessShardedSegmentEngine:
             mode=mode,
             persistent=True,
         )
+        self.query_deadline = query_deadline
+        self.worker_timeouts = 0
         self._journal: list | None = None
 
     @property
@@ -236,10 +246,27 @@ class ProcessShardedSegmentEngine:
             )
             for shard in self.shards
         ]
-        outcomes = self._executor.map(_worker_search, tasks)
+        outcomes = self._executor.map(
+            _worker_search, tasks, timeout=self.query_deadline
+        )
         merged: list[tuple] = []
         for shard_id, outcome in enumerate(outcomes):
             if not outcome.ok:
+                if isinstance(outcome.error, TimeoutError):
+                    # A worker is hung (or its process was killed).
+                    # Recycle the pool so the stuck slot does not
+                    # poison every subsequent query, then fail fast.
+                    self.worker_timeouts += 1
+                    if self.metrics is not None:
+                        self.metrics.increment(
+                            "serving.segments.worker_timeouts"
+                        )
+                    self._executor.recycle()
+                    raise SearchError(
+                        f"shard {shard_id} worker missed the "
+                        f"{self.query_deadline:.3f}s query deadline; "
+                        "worker pool recycled"
+                    ) from outcome.error
                 raise outcome.error
             if self.metrics is not None:
                 self.metrics.record(
@@ -392,6 +419,7 @@ class ProcessShardedSegmentEngine:
             "epochs": list(self.router.epochs()),
             "shard_documents": [shard.n_documents for shard in self.shards],
             "shard_segments": [shard.n_segments for shard in self.shards],
+            "worker_timeouts": self.worker_timeouts,
         }
         if self.cache is not None:
             out["cache"] = self.cache.stats()

@@ -46,6 +46,7 @@ from repro.testing.oracles import (
     exhaustive_decode,
     reference_closure,
 )
+from repro.testing.replication import check_replication_case
 from repro.testing.rng import case_rng
 from repro.testing.segments import check_segment_case
 from repro.testing.serving import check_serving_case
@@ -60,6 +61,7 @@ SUBSYSTEMS = (
     "durability",
     "serving",
     "segments",
+    "replication",
 )
 
 _TOLERANCE = 1e-8
@@ -466,6 +468,7 @@ GENERATORS = {
     "durability": generators.gen_durability_case,
     "serving": generators.gen_serving_case,
     "segments": generators.gen_segment_case,
+    "replication": generators.gen_replication_case,
 }
 
 CHECKERS = {
@@ -478,6 +481,7 @@ CHECKERS = {
     "durability": check_durability_case,
     "serving": check_serving_case,
     "segments": check_segment_case,
+    "replication": check_replication_case,
 }
 
 

@@ -366,6 +366,59 @@ def gen_serving_case(rng: Random) -> dict:
     }
 
 
+# -- replication (per-shard replicas + crash-promotion schedules) ------------
+
+_REPLICATION_FAULTS = ["kill", "crash", "torn", "io_append", "io_fsync"]
+
+
+def gen_replication_case(rng: Random) -> dict:
+    """A replicated-serving workload with one planned shard failure.
+
+    Writes and steady reads interleave; ``crash: None`` (~1 in 5)
+    makes the case a pure replication-equivalence check.  ``kill``
+    declares the primary dead between actions (the clean fail-stop);
+    the other kinds arm a :class:`FaultInjector` on one shard's WAL
+    filesystem, so the failure fires *inside* a commit — mid-append,
+    mid-fsync, or as a torn page-cache writeback — at a seed-chosen
+    filesystem-op index.
+    """
+    actions = []
+    for _ in range(rng.randint(2, 10)):
+        if actions and rng.random() < 0.25:
+            actions.append({"op": "delete", "id": f"d{rng.randint(0, 11)}"})
+        else:
+            actions.append(
+                {
+                    "op": "index",
+                    "id": f"d{rng.randint(0, 11)}",
+                    "fields": {
+                        "body": gen_text(rng, 10),
+                        "title": gen_text(rng, 4),
+                    },
+                }
+            )
+    crash = None
+    if rng.random() < 0.8:
+        crash = {
+            "kind": rng.choice(_REPLICATION_FAULTS),
+            "at_action": rng.randint(0, len(actions) - 1),
+            "at_op": rng.randint(0, 40),
+            "seed": rng.randint(0, 2**31),
+            "shard": rng.randint(0, 3),
+        }
+    return {
+        "n_shards": rng.choice([1, 2, 2, 3]),
+        "n_replicas": rng.choice([1, 1, 2]),
+        "cache_size": rng.choice([1, 4, 16]),
+        "analyzer": rng.choice(ANALYZERS),
+        "ship_every": rng.choice([1, 1, 2, 3]),
+        "snapshot_every": rng.choice([None, None, 2, 4]),
+        "actions": actions,
+        "queries": [gen_query(rng) for _ in range(rng.randint(1, 3))],
+        "crash": crash,
+    }
+
+
 # -- segments (on-disk postings + flush/merge/delete schedules) --------------
 
 

@@ -15,6 +15,12 @@ Three rules, each motivated by a real failure mode in this codebase:
   Oracles and generated cases must be replayable byte-for-byte;
   wall-clock reads are hidden nondeterminism.  Benchmarks and runtime
   metrics legitimately measure time and are exempt.
+* **REPRO004 — unbounded queues** (everywhere except ``tests/``).
+  ``queue.Queue()`` / ``asyncio.Queue()`` with no ``maxsize`` (or
+  ``maxsize=0``) buffers without limit — under overload it queues
+  toward memory exhaustion and unbounded latency instead of shedding.
+  Bounded admission is a serving invariant; pass an explicit positive
+  ``maxsize``.  Tests may build unbounded queues as scaffolding.
 
 Run as ``python -m repro.testing.lint [paths...]``; exits 1 when any
 violation is found.  No third-party dependencies — this must run on a
@@ -38,6 +44,12 @@ DETERMINISTIC_PARTS = (
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
 _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict"}
+
+# Queue constructors whose default maxsize=0 means "unbounded"
+# (REPRO004).  Matched as bare names (from-imports) and as attributes
+# of the queue/asyncio/multiprocessing modules.
+_QUEUE_NAMES = {"Queue", "LifoQueue", "PriorityQueue", "SimpleQueue"}
+_QUEUE_MODULES = {"queue", "asyncio", "multiprocessing"}
 
 
 def _is_mutable_default(node: ast.expr | None) -> bool:
@@ -63,6 +75,7 @@ class _Visitor(ast.NodeVisitor):
     def __init__(self, path: Path, deterministic: bool):
         self.path = path
         self.deterministic = deterministic
+        self.bounded_queues = path.parts[:1] != ("tests",)
         self.findings: list[tuple[int, str, str]] = []
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
@@ -117,7 +130,55 @@ class _Visitor(ast.NodeVisitor):
                         "pass timestamps in or use a seeded source",
                     )
                 )
+        if self.bounded_queues:
+            self._check_queue_bound(node)
         self.generic_visit(node)
+
+    def _queue_name(self, node: ast.Call) -> str | None:
+        """The constructor's name when it builds a stdlib queue."""
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _QUEUE_NAMES:
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _QUEUE_NAMES
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _QUEUE_MODULES
+        ):
+            return f"{func.value.id}.{func.attr}"
+        return None
+
+    def _check_queue_bound(self, node: ast.Call) -> None:
+        name = self._queue_name(node)
+        if name is None:
+            return
+        # maxsize is the first positional argument or a keyword; a
+        # missing bound or a literal <= 0 means unbounded.  A non-
+        # literal bound is trusted (it may be computed) — the rule
+        # targets the silent default, not dynamic configuration.
+        bound = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "maxsize":
+                bound = keyword.value
+        if name.endswith("SimpleQueue"):
+            unbounded = True  # SimpleQueue has no maxsize at all
+        elif bound is None:
+            unbounded = True
+        elif isinstance(bound, ast.Constant):
+            unbounded = (
+                isinstance(bound.value, int) and bound.value <= 0
+            )
+        else:
+            unbounded = False
+        if unbounded:
+            self.findings.append(
+                (
+                    node.lineno,
+                    "REPRO004",
+                    f"unbounded {name}(); overload must shed, not "
+                    "buffer — pass a positive maxsize",
+                )
+            )
 
 
 def lint_file(path: Path, root: Path) -> list[str]:

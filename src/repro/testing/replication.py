@@ -1,0 +1,212 @@
+"""Replication oracles: crash-and-promote schedules under steady reads.
+
+One generated case drives an interleaved write/read workload through a
+:class:`~repro.serving.replica.ReplicatedShardedSearchEngine` whose
+victim shard's WAL filesystem carries a seed-driven
+:class:`~repro.durability.fs.FaultInjector`, while a plain
+:class:`~repro.search.engine.SearchEngine` applies the same ops in
+lockstep as the **no-crash oracle**.  The invariants:
+
+* **No stale-epoch reads.**  After *every* action — including the one
+  that crashed a primary mid-commit and forced a promotion — every
+  query answers exactly like the oracle.  A cache entry surviving a
+  promotion epoch bump, or a read served by a lagging replica, shows
+  up as a ranking divergence here.
+* **No torn reads.**  Replicas apply only whole acknowledged WAL
+  records, and promotion replays with torn-tail truncation; a partial
+  record leaking into any serving copy diverges from the oracle.
+* **Post-promotion convergence.**  Failed ops are retried against the
+  promoted primary (they are idempotent), so the final tier state must
+  equal the no-crash oracle's — checked by query equivalence, document
+  counts, and (after a forced ship) canonical per-shard state equality
+  between every replica and its primary.
+"""
+
+from __future__ import annotations
+
+from repro.durability.fs import FaultInjector, InjectedCrash, MemFS
+from repro.exceptions import DurabilityError, ReplicaError
+from repro.search.analysis import STANDARD_ANALYZER_CONFIG
+from repro.search.engine import SearchEngine
+from repro.serving.replica import ReplicatedShardedSearchEngine
+from repro.testing.crash import _engine_state
+from repro.testing.generators import _REPLICATION_FAULTS
+from repro.testing.oracles import ANALYZER_CONFIGS
+from repro.testing.serving import _compare, _search_once
+
+
+def _valid_case(case: dict) -> bool:
+    """Structural validation; shrunk cases may violate any of this."""
+    if not isinstance(case, dict):
+        return False
+    n_shards = case.get("n_shards")
+    if not isinstance(n_shards, int) or not 1 <= n_shards <= 8:
+        return False
+    n_replicas = case.get("n_replicas")
+    if not isinstance(n_replicas, int) or not 1 <= n_replicas <= 4:
+        return False
+    cache_size = case.get("cache_size")
+    if not isinstance(cache_size, int) or cache_size < 1:
+        return False
+    if case.get("analyzer") not in ANALYZER_CONFIGS:
+        return False
+    ship_every = case.get("ship_every")
+    if not isinstance(ship_every, int) or ship_every < 1:
+        return False
+    snapshot_every = case.get("snapshot_every")
+    if snapshot_every is not None and (
+        not isinstance(snapshot_every, int) or snapshot_every < 1
+    ):
+        return False
+    actions = case.get("actions")
+    if not isinstance(actions, list) or not actions:
+        return False
+    for op in actions:
+        if not isinstance(op, dict) or op.get("op") not in (
+            "index",
+            "delete",
+        ):
+            return False
+        if op["op"] == "index" and not isinstance(op.get("fields"), dict):
+            return False
+    if not isinstance(case.get("queries"), list) or not case["queries"]:
+        return False
+    crash = case.get("crash")
+    if crash is not None:
+        if not isinstance(crash, dict):
+            return False
+        if crash.get("kind") not in _REPLICATION_FAULTS:
+            return False
+        for key in ("at_action", "at_op", "seed", "shard"):
+            if not isinstance(crash.get(key), int) or crash[key] < 0:
+                return False
+    return True
+
+
+def _apply_one(tier: ReplicatedShardedSearchEngine, op: dict) -> None:
+    if op["op"] == "index":
+        tier.index(op["id"], op["fields"])
+    else:
+        tier.delete(op["id"])
+
+
+def check_replication_case(case: dict) -> str | None:
+    """Run one crash-promotion schedule; ``None`` means all invariants
+    held (or the case was structurally malformed — vacuous)."""
+    if not _valid_case(case):
+        return None
+    field_analyzers = {
+        "body": ANALYZER_CONFIGS[case["analyzer"]],
+        "title": STANDARD_ANALYZER_CONFIG,
+    }
+    crash = case["crash"]
+    crash_shard = None
+    injector = None
+    if crash is not None:
+        crash_shard = crash["shard"] % case["n_shards"]
+        if crash["kind"] != "kill":
+            injector = FaultInjector(
+                MemFS(),
+                kind=crash["kind"],
+                at_op=crash["at_op"],
+                seed=crash["seed"],
+            )
+
+    def fs_factory(shard_id: int):
+        if injector is not None and shard_id == crash_shard:
+            return injector
+        return MemFS()
+
+    tier = ReplicatedShardedSearchEngine(
+        case["n_shards"],
+        n_replicas=case["n_replicas"],
+        field_analyzers=field_analyzers,
+        cache_size=case["cache_size"],
+        ship_every=case["ship_every"],
+        snapshot_every=case["snapshot_every"],
+        fs_factory=fs_factory,
+        executor_mode="serial",
+    )
+    oracle = SearchEngine(field_analyzers)
+
+    killed = False
+    for action_index, op in enumerate(case["actions"]):
+        if (
+            crash is not None
+            and crash["kind"] == "kill"
+            and action_index == crash["at_action"]
+            and not killed
+        ):
+            # Fail-stop between commits; the next op (or read) routed
+            # to this shard must fail over and promote transparently.
+            tier.crash_primary(crash_shard)
+            killed = True
+        try:
+            _apply_one(tier, op)
+        except (InjectedCrash, DurabilityError, ReplicaError):
+            # The commit died mid-flight on the injected shard.  Only
+            # the harness boundary may catch an InjectedCrash: declare
+            # the primary dead, promote from surviving bytes, and
+            # retry the (idempotent) op on the promoted primary.
+            tier.crash_primary(crash_shard)
+            tier.promote(crash_shard)
+            _apply_one(tier, op)
+        # The oracle never crashes: it is the no-crash reference.
+        if op["op"] == "index":
+            oracle.index(op["id"], op["fields"])
+        else:
+            oracle.delete(op["id"])
+
+        # Steady reads: every action is followed by the full query
+        # batch, so reads race shipping lag, epoch bumps, and the
+        # promotion itself.
+        for query in case["queries"]:
+            want = _search_once(oracle, query)
+            got = _search_once(tier, query)
+            message = _compare(
+                query, got, want, f"after action {action_index}"
+            )
+            if message is not None:
+                return message
+
+    if tier.n_documents != oracle.n_documents:
+        return (
+            f"doc count diverged from no-crash oracle: "
+            f"{tier.n_documents} vs {oracle.n_documents}"
+        )
+
+    # Cache-hit determinism on the final state.
+    for query in case["queries"]:
+        first = _search_once(tier, query)
+        second = _search_once(tier, query)
+        if first != second:
+            return (
+                f"cache hit not deterministic for {query!r}: "
+                f"first {first!r}, second {second!r}"
+            )
+
+    # Convergence: after a forced ship every replica must be
+    # canonically identical to its shard's primary.
+    tier.ship_all()
+    for shard_id, replica_set in enumerate(tier.sets):
+        want_state = _engine_state(replica_set.primary)
+        for replica_index, replica in enumerate(replica_set.replicas):
+            got_state = _engine_state(replica.store)
+            if got_state != want_state:
+                return (
+                    f"shard {shard_id} replica {replica_index} diverged "
+                    f"from its primary after ship (lag "
+                    f"{replica_set.lag_lsns()!r})"
+                )
+        if replica_set.lag_lsns() != [0] * len(replica_set.replicas):
+            return (
+                f"shard {shard_id} still lagging after ship_all: "
+                f"{replica_set.lag_lsns()!r}"
+            )
+
+    # Structural cache health.
+    if tier.cache is not None:
+        stats = tier.cache.stats()
+        if stats["entries"] > stats["capacity"]:
+            return f"cache exceeded capacity: {stats!r}"
+    return None

@@ -309,3 +309,33 @@ class TestPipelineIntegration:
         assert pipeline.durability is None
         with pytest.raises(PipelineError):
             pipeline.recover()
+
+
+class TestPoisonDiagnostics:
+    def test_poison_message_names_path_and_durable_lsn(self):
+        """Operators need the failing WAL location and the last
+        durable LSN to act; the message must carry both."""
+        fs = FaultInjector(MemFS(), kind="io_fsync", at_op=3, seed=0)
+        manager, store, graph, engine = _attached_manager(fs)
+        _ingest(store, graph, engine, "d0")
+        manager.commit()  # lsn 1 fsyncs fine (ops 0,1)
+        _ingest(store, graph, engine, "d1")
+        with pytest.raises(DurabilityError):
+            manager.commit()  # fsync fails at op 3
+        with pytest.raises(
+            DurabilityError,
+            match=r"wal\.log.*last durable LSN 1",
+        ):
+            manager.commit()
+
+    def test_poison_message_includes_fs_root_when_real(self, tmp_path):
+        fs = OsFileSystem(tmp_path)
+        manager, store, graph, engine = _attached_manager(fs)
+        manager._failed = True  # poison directly; no real disk fault
+        with pytest.raises(DurabilityError) as excinfo:
+            manager.commit()
+        message = str(excinfo.value)
+        assert str(tmp_path) in message
+        assert "wal.log" in message
+        assert "last durable LSN 0" in message
+        fs.close()

@@ -1,0 +1,251 @@
+"""Async front end: admission control, deadlines, retries, shedding."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    LoadShedError,
+    ReplicaError,
+    ServingError,
+)
+from repro.serving import ServingFrontend
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestRouting:
+    def test_registered_route_serves(self):
+        async def main():
+            fe = ServingFrontend(max_concurrency=2, queue_limit=4)
+            fe.register("echo", lambda x: x * 2)
+            try:
+                return await fe.handle("echo", 21)
+            finally:
+                fe.close()
+
+        assert _run(main()) == 42
+
+    def test_unknown_route_raises(self):
+        async def main():
+            fe = ServingFrontend()
+            try:
+                with pytest.raises(ServingError, match="unknown route"):
+                    await fe.handle("nope")
+            finally:
+                fe.close()
+
+        _run(main())
+
+    def test_duplicate_route_raises(self):
+        fe = ServingFrontend()
+        fe.register("r", lambda: None)
+        with pytest.raises(ServingError, match="already registered"):
+            fe.register("r", lambda: None)
+        fe.close()
+
+    def test_queue_must_cover_concurrency(self):
+        with pytest.raises(ServingError, match="queue_limit"):
+            ServingFrontend(max_concurrency=4, queue_limit=2)
+
+
+class TestLoadShedding:
+    def test_overload_sheds_fast_instead_of_queueing(self):
+        release = threading.Event()
+
+        def slow():
+            release.wait(timeout=5.0)
+            return "done"
+
+        async def main():
+            fe = ServingFrontend(
+                max_concurrency=1, queue_limit=2, default_deadline=5.0
+            )
+            fe.register("slow", slow)
+            tasks = [
+                asyncio.create_task(fe.handle("slow")) for _ in range(2)
+            ]
+            await asyncio.sleep(0.05)  # both occupy the queue
+            shed_started = time.perf_counter()
+            with pytest.raises(LoadShedError, match="shed at admission"):
+                await fe.handle("slow")
+            shed_latency = time.perf_counter() - shed_started
+            release.set()
+            results = await asyncio.gather(*tasks)
+            fe.close()
+            return shed_latency, results, fe.stats()
+
+        shed_latency, results, stats = _run(main())
+        assert results == ["done", "done"]
+        # Rejection must not wait on the queue: it is the fast path.
+        assert shed_latency < 0.5
+        assert stats["counters"]["shed"] == 1
+        assert stats["counters"]["completed"] == 2
+
+    def test_inflight_drains_after_completion(self):
+        async def main():
+            fe = ServingFrontend(max_concurrency=1, queue_limit=1)
+            fe.register("fast", lambda: 1)
+            for _ in range(5):  # sequential requests never shed
+                assert await fe.handle("fast") == 1
+            stats = fe.stats()
+            fe.close()
+            return stats
+
+        stats = _run(main())
+        assert stats["counters"]["shed"] == 0
+        assert stats["counters"]["completed"] == 5
+        assert stats["inflight"] == 0
+
+
+class TestDeadlines:
+    def test_slow_handler_times_out(self):
+        async def main():
+            fe = ServingFrontend(
+                max_concurrency=1, queue_limit=2, default_deadline=0.05
+            )
+            fe.register("slow", lambda: time.sleep(2.0))
+            try:
+                with pytest.raises(DeadlineExceededError, match="deadline"):
+                    await fe.handle("slow")
+                return fe.stats()
+            finally:
+                fe.close()
+
+        stats = _run(main())
+        assert stats["counters"]["timeouts"] == 1
+
+    def test_per_call_deadline_overrides_default(self):
+        async def main():
+            fe = ServingFrontend(default_deadline=10.0)
+            fe.register("slow", lambda: time.sleep(2.0))
+            try:
+                with pytest.raises(DeadlineExceededError):
+                    await fe.handle("slow", deadline=0.05)
+            finally:
+                fe.close()
+
+        _run(main())
+
+    def test_deadline_covers_queueing(self):
+        release = threading.Event()
+
+        async def main():
+            fe = ServingFrontend(
+                max_concurrency=1, queue_limit=3, default_deadline=5.0
+            )
+            fe.register("slow", lambda: release.wait(timeout=5.0))
+            blocker = asyncio.create_task(fe.handle("slow"))
+            await asyncio.sleep(0.05)
+            # This one queues behind the blocker and must give up
+            # while still waiting for a worker slot.
+            with pytest.raises(DeadlineExceededError, match="waiting|queued"):
+                await fe.handle("slow", deadline=0.1)
+            release.set()
+            await blocker
+            fe.close()
+
+        _run(main())
+
+
+class TestRetries:
+    def test_transient_replica_error_retries_to_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ReplicaError("primary down; promote first")
+            return "served"
+
+        async def main():
+            fe = ServingFrontend(max_retries=2, backoff=0.01)
+            fe.register("flaky", flaky)
+            try:
+                result = await fe.handle("flaky")
+                return result, fe.stats()
+            finally:
+                fe.close()
+
+        result, stats = _run(main())
+        assert result == "served"
+        assert calls["n"] == 2
+        assert stats["counters"]["retries"] == 1
+
+    def test_retries_exhaust_then_raise(self):
+        def always_down():
+            raise ReplicaError("no replica eligible")
+
+        async def main():
+            fe = ServingFrontend(max_retries=1, backoff=0.01)
+            fe.register("down", always_down)
+            try:
+                with pytest.raises(ReplicaError):
+                    await fe.handle("down")
+                return fe.stats()
+            finally:
+                fe.close()
+
+        stats = _run(main())
+        assert stats["counters"]["retries"] == 1
+        assert stats["counters"]["errors"] == 1
+
+    def test_non_retryable_route_fails_immediately(self):
+        calls = {"n": 0}
+
+        def write():
+            calls["n"] += 1
+            raise ReplicaError("primary down")
+
+        async def main():
+            fe = ServingFrontend(max_retries=3, backoff=0.01)
+            fe.register("write", write, retryable=False)
+            try:
+                with pytest.raises(ReplicaError):
+                    await fe.handle("write")
+            finally:
+                fe.close()
+
+        _run(main())
+        assert calls["n"] == 1
+
+    def test_non_transient_errors_do_not_retry(self):
+        calls = {"n": 0}
+
+        def bad():
+            calls["n"] += 1
+            raise ValueError("a real bug")
+
+        async def main():
+            fe = ServingFrontend(max_retries=3, backoff=0.01)
+            fe.register("bad", bad)
+            try:
+                with pytest.raises(ValueError):
+                    await fe.handle("bad")
+            finally:
+                fe.close()
+
+        _run(main())
+        assert calls["n"] == 1
+
+
+class TestStats:
+    def test_per_route_latency_percentiles(self):
+        async def main():
+            fe = ServingFrontend()
+            fe.register("fast", lambda: 1)
+            for _ in range(10):
+                await fe.handle("fast")
+            stats = fe.stats()
+            fe.close()
+            return stats
+
+        stats = _run(main())
+        route = stats["routes"]["fast"]
+        assert route["count"] == 10
+        assert route["p50"] <= route["p99"]

@@ -1,0 +1,265 @@
+"""Replicated serving tier: WAL shipping, promotion, failover reads."""
+
+import pytest
+
+from repro.durability import FaultInjector, MemFS
+from repro.exceptions import DurabilityError, ReplicaError
+from repro.graphdb.graph import PropertyGraph
+from repro.search.engine import SearchEngine
+from repro.serving import ReplicatedShardedSearchEngine, ShardReplicaSet
+from repro.testing.crash import _engine_state
+from repro.testing.replication import check_replication_case
+
+
+def _engine_set(n_replicas=1, fs=None, **kwargs):
+    return ShardReplicaSet(
+        0, SearchEngine, n_replicas=n_replicas, fs=fs, **kwargs
+    )
+
+
+def _index_op(doc_id, text="fever and cough"):
+    return lambda store: store.index(doc_id, {"body": text})
+
+
+class TestShardReplicaSet:
+    def test_mutations_ship_to_replicas(self):
+        replica_set = _engine_set(n_replicas=2)
+        for i in range(4):
+            replica_set.mutate(_index_op(f"d{i}"))
+        assert replica_set.durable_lsn == 4
+        assert replica_set.lag_lsns() == [0, 0]
+        want = _engine_state(replica_set.primary)
+        for replica in replica_set.replicas:
+            assert _engine_state(replica.store) == want
+
+    def test_ship_every_creates_real_lag(self):
+        replica_set = _engine_set(ship_every=3)
+        replica_set.mutate(_index_op("d0"))
+        replica_set.mutate(_index_op("d1"))
+        assert replica_set.lag_lsns() == [2]
+        # A lagging replica must not serve; the primary does.
+        assert replica_set.read_store() is replica_set.primary
+        replica_set.mutate(_index_op("d2"))  # third commit ships
+        assert replica_set.lag_lsns() == [0]
+        assert replica_set.read_store() is not replica_set.primary
+
+    def test_snapshot_bounds_wal_and_bootstraps_replicas(self):
+        fs = MemFS()
+        replica_set = _engine_set(fs=fs, ship_every=100, snapshot_every=2)
+        for i in range(5):
+            replica_set.mutate(_index_op(f"d{i}"))
+        assert replica_set.snapshot_lsn == 4
+        # The replica never saw a shipped record; catching up must
+        # bootstrap from the snapshot then apply the WAL suffix.
+        replica_set.ship()
+        assert replica_set.lag_lsns() == [0]
+        assert _engine_state(replica_set.replicas[0].store) == _engine_state(
+            replica_set.primary
+        )
+
+    def test_promote_recovers_acked_writes_despite_lag(self):
+        replica_set = _engine_set(ship_every=100)  # replica never catches up
+        for i in range(3):
+            replica_set.mutate(_index_op(f"d{i}"))
+        before = _engine_state(replica_set.primary)
+        replica_set.crash_primary()
+        with pytest.raises(ReplicaError):
+            replica_set.read_store()
+        lsn = replica_set.promote()
+        assert lsn == 3
+        assert _engine_state(replica_set.primary) == before
+        assert replica_set.promotions == 1
+        # The replication factor is restored by a fresh bootstrap.
+        assert len(replica_set.replicas) == 1
+        assert replica_set.lag_lsns() == [0]
+
+    def test_promote_after_failed_flush_discards_dirty_buffer(self):
+        fs = FaultInjector(MemFS(), kind="io_fsync", at_op=3, seed=0)
+        replica_set = _engine_set(fs=fs)
+        replica_set.mutate(_index_op("d0"))  # ops 0,1: append+fsync
+        with pytest.raises(DurabilityError):
+            replica_set.mutate(_index_op("d1"))  # fsync fails at op 3
+        assert replica_set.down
+        with pytest.raises(ReplicaError):
+            replica_set.mutate(_index_op("d2"))
+        replica_set.promote()
+        # The unacked d1 record died with the old primary's buffer; it
+        # must not resurface in the promoted WAL stream.
+        assert replica_set.durable_lsn == 1
+        replica_set.mutate(_index_op("d2"))
+        fresh = ShardReplicaSet(0, SearchEngine, n_replicas=0, fs=fs.fs)
+        replayed = fresh.wal.replay()
+        lsns = [record["lsn"] for record in replayed.records]
+        assert lsns == [1, 2]
+
+    def test_mutate_on_down_primary_raises(self):
+        replica_set = _engine_set()
+        replica_set.crash_primary()
+        with pytest.raises(ReplicaError, match="down"):
+            replica_set.mutate(_index_op("d0"))
+
+    def test_promote_without_replicas_raises(self):
+        replica_set = _engine_set(n_replicas=0)
+        replica_set.crash_primary()
+        with pytest.raises(ReplicaError, match="no replica"):
+            replica_set.promote()
+
+    def test_generic_over_property_graph(self):
+        """The set is store-agnostic: any Durable store replicates."""
+        replica_set = ShardReplicaSet(0, PropertyGraph, n_replicas=1)
+        replica_set.mutate(lambda g: g.add_node("n0", entityType="Report"))
+        replica_set.mutate(lambda g: g.add_node("n1", entityType="Report"))
+        replica_set.mutate(lambda g: g.add_edge("n0", "n1", "BEFORE"))
+        replica_set.crash_primary()
+        replica_set.promote()
+        assert replica_set.primary.n_nodes == 2
+        assert replica_set.primary.n_edges == 1
+        assert replica_set.replicas[0].store.n_nodes == 2
+
+
+class TestReplicatedShardedSearchEngine:
+    def _tier(self, **kwargs):
+        kwargs.setdefault("executor_mode", "serial")
+        return ReplicatedShardedSearchEngine(2, **kwargs)
+
+    def _fill(self, tier, n=8):
+        docs = {
+            f"d{i}": {"body": f"clinical report {i} fever cough"}
+            for i in range(n)
+        }
+        reference = SearchEngine()
+        for doc_id, fields in docs.items():
+            tier.index(doc_id, fields)
+            reference.index(doc_id, fields)
+        return reference
+
+    def test_rank_equivalence_with_unsharded_engine(self):
+        tier = self._tier()
+        reference = self._fill(tier)
+        got = tier.search("fever report", size=5)
+        want = reference.search({"match": {"body": "fever report"}}, size=5)
+        assert [(h.doc_id, h.score) for h in got] == [
+            (h.doc_id, h.score) for h in want
+        ]
+
+    def test_read_failover_promotes_and_bumps_epoch(self):
+        tier = self._tier()
+        reference = self._fill(tier)
+        tier.search("fever", size=3)  # populate the cache
+        epochs_before = tier.router.epochs()
+        tier.crash_primary(0)
+        got = tier.search("report cough", size=5)
+        want = reference.search({"match": {"body": "report cough"}}, size=5)
+        assert [h.doc_id for h in got] == [h.doc_id for h in want]
+        assert tier.failovers == 1
+        assert tier.router.epochs() != epochs_before
+
+    def test_write_failover_retries_on_promoted_primary(self):
+        tier = self._tier()
+        self._fill(tier)
+        before = tier.n_documents
+        tier.crash_primary(0)
+        tier.crash_primary(1)
+        # One new doc per shard, so both downed primaries must fail
+        # over during the writes.
+        hit_shards = set()
+        n_new = 0
+        for i in range(100, 120):
+            doc_id = f"d{i}"
+            shard = tier.router.shard_of(doc_id)
+            if shard in hit_shards:
+                continue
+            hit_shards.add(shard)
+            tier.index(doc_id, {"body": "new fever document"})
+            n_new += 1
+            if len(hit_shards) == 2:
+                break
+        assert len(hit_shards) == 2
+        assert tier.n_documents == before + n_new
+        assert tier.failovers == 2
+
+    def test_stats_surface_lag_and_promotions(self):
+        tier = self._tier(ship_every=5)
+        self._fill(tier, n=6)
+        tier.crash_primary(0)
+        tier.promote(0)
+        stats = tier.stats()
+        assert stats["failovers"] == 1
+        shard0 = stats["replication"][0]
+        assert shard0["promotions"] == 1
+        assert shard0["durable_lsn"] >= 1
+        assert all(lag >= 0 for s in stats["replication"] for lag in s["lag_lsns"])
+
+    def test_zero_document_shard_serves_empty(self):
+        """A shard that owns no documents still fans out and merges
+        cleanly (the all-shards-empty and some-shards-empty cases)."""
+        tier = self._tier()
+        assert tier.search("fever", size=5) == []
+        # Route everything to whichever shard owns d0: index one doc.
+        tier.index("d0", {"body": "lone fever document"})
+        hits = tier.search("fever", size=5)
+        assert [h.doc_id for h in hits] == ["d0"]
+        empty_shard = 1 - tier.router.shard_of("d0")
+        assert tier.sets[empty_shard].primary.n_documents == 0
+
+    def test_highlight_served_after_promotion(self):
+        tier = self._tier()
+        self._fill(tier)
+        shard = tier.router.shard_of("d1")
+        tier.crash_primary(shard)
+        snippets = tier.highlight("d1", "body", "fever")
+        assert any("fever" in s for s in snippets)
+
+
+class TestReplicationChecker:
+    def test_clean_case_passes(self):
+        case = {
+            "n_shards": 2,
+            "n_replicas": 1,
+            "cache_size": 4,
+            "analyzer": "standard",
+            "ship_every": 1,
+            "snapshot_every": None,
+            "actions": [
+                {"op": "index", "id": "d0", "fields": {"body": "fever"}},
+                {"op": "index", "id": "d1", "fields": {"body": "cough"}},
+                {"op": "delete", "id": "d0"},
+            ],
+            "queries": [{"match": {"body": "fever cough"}}],
+            "crash": None,
+        }
+        assert check_replication_case(case) is None
+
+    @pytest.mark.parametrize(
+        "kind", ["kill", "crash", "torn", "io_append", "io_fsync"]
+    )
+    def test_crash_kinds_converge(self, kind):
+        case = {
+            "n_shards": 2,
+            "n_replicas": 2,
+            "cache_size": 4,
+            "analyzer": "standard",
+            "ship_every": 2,
+            "snapshot_every": 2,
+            "actions": [
+                {
+                    "op": "index",
+                    "id": f"d{i}",
+                    "fields": {"body": f"report {i} fever"},
+                }
+                for i in range(6)
+            ],
+            "queries": [{"match": {"body": "fever report"}}],
+            "crash": {
+                "kind": kind,
+                "at_action": 2,
+                "at_op": 5,
+                "seed": 7,
+                "shard": 0,
+            },
+        }
+        assert check_replication_case(case) is None
+
+    def test_malformed_case_is_vacuous(self):
+        assert check_replication_case({"n_shards": "x"}) is None
+        assert check_replication_case(None) is None

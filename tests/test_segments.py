@@ -452,3 +452,57 @@ class TestScaleCorpus:
             build_scale_corpus(-1)
         with pytest.raises(ValueError):
             scale_queries(-1)
+
+    def test_query_deadline_times_out_and_recycles_pool(
+        self, tmp_path, monkeypatch
+    ):
+        import threading
+
+        from repro.serving import segment_shards
+
+        engine = ProcessShardedSegmentEngine(
+            2,
+            segment_root=str(tmp_path / "dshards"),
+            field_analyzers=FIELD_ANALYZERS,
+            mode="thread",
+            flush_threshold=2,
+            query_deadline=0.3,
+        )
+        reference = SearchEngine(FIELD_ANALYZERS)
+        try:
+            for doc_id, fields in DOCS.items():
+                engine.index(doc_id, fields)
+                reference.index(doc_id, fields)
+
+            release = threading.Event()
+            real_worker = segment_shards._worker_search
+
+            def hung_worker(task):
+                release.wait(timeout=10.0)  # a wedged worker
+                return real_worker(task)
+
+            monkeypatch.setattr(
+                segment_shards, "_worker_search", hung_worker
+            )
+            with pytest.raises(SearchError, match="deadline"):
+                engine.search({"match": {"body": "fever"}})
+            release.set()
+            assert engine.worker_timeouts == 1
+            assert engine.stats()["worker_timeouts"] == 1
+
+            # The failed query was never cached; re-asking it proves
+            # the recycled pool serves fan-outs with fresh workers.
+            monkeypatch.setattr(
+                segment_shards, "_worker_search", real_worker
+            )
+            got = [
+                (h.doc_id, h.score)
+                for h in engine.search({"match": {"body": "fever"}})
+            ]
+            want = [
+                (h.doc_id, h.score)
+                for h in reference.search({"match": {"body": "fever"}})
+            ]
+            assert got == want
+        finally:
+            engine.close()

@@ -350,3 +350,116 @@ def test_pipeline_serving_shards_wiring(demo_system):
         assert deleted.status == 200
         after = sharded.app.handle("GET", "/search", params={"q": query})
         assert victim not in [row["id"] for row in after.body["results"]]
+
+
+# -- cache under concurrent epoch bumps & empty shards (robustness) ----------
+
+
+def test_mutation_during_fanout_never_caches_stale():
+    """End-to-end stamp-before-fan-out race: a write that lands while
+    shards are computing must make the in-flight entry stale on
+    arrival, so the next identical query recomputes and sees the
+    write."""
+    engine = _engine(2, cache_size=8)
+    for i in range(6):
+        engine.index(f"d{i}", {"body": f"fever report {i}", "title": ""})
+
+    shard = engine.shards[0]
+    original = shard.search
+    fired = []
+
+    def racing_search(query, size=10):
+        if not fired:
+            fired.append(True)
+            # A write races the fan-out AFTER the stamp was captured.
+            engine.index("d100", {"body": "late fever arrival", "title": ""})
+        return original(query, size=size)
+
+    shard.search = racing_search
+    engine.search("fever", size=10)
+    shard.search = original
+
+    # The raced entry must have been dropped at put time; this search
+    # is a cache miss that recomputes under the new epoch vector.
+    second = [hit.doc_id for hit in engine.search("fever", size=10)]
+    assert "d100" in second
+    assert engine.cache.stats()["stale_drops"] >= 1
+
+
+def test_concurrent_epoch_bumps_from_threads_keep_cache_coherent():
+    """Hammer searches and writes from threads; every post-quiescence
+    query must reflect every write (no stale entry survives)."""
+    import threading
+
+    engine = _engine(2, cache_size=16)
+    for i in range(4):
+        engine.index(f"d{i}", {"body": "fever cough", "title": ""})
+
+    errors = []
+
+    def writer():
+        try:
+            for i in range(20):
+                engine.index(
+                    f"w{i}", {"body": "fever injected", "title": ""}
+                )
+        except Exception as exc:  # pragma: no cover - fails the test
+            errors.append(exc)
+
+    def reader():
+        try:
+            for _ in range(30):
+                engine.search("fever", size=50)
+        except Exception as exc:  # pragma: no cover - fails the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+    final = {hit.doc_id for hit in engine.search("fever", size=100)}
+    assert {f"w{i}" for i in range(20)} <= final
+
+
+def test_zero_document_shard_fans_out_and_scores_exactly():
+    """A shard holding no documents must not perturb routing, global
+    BM25 statistics, or the merged ranking."""
+    engine = _engine(3, cache_size=4)
+    assert engine.search("fever", size=5) == []  # all shards empty
+
+    # Stack every document on one shard; the other two stay empty.
+    target = engine.router.shard_of("d0")
+    doc_ids = ["d0"]
+    for i in range(1, 40):
+        if engine.router.shard_of(f"d{i}") == target:
+            doc_ids.append(f"d{i}")
+        if len(doc_ids) == 5:
+            break
+    from repro.search.analysis import (
+        CREATE_IR_ANALYZER_CONFIG,
+        STANDARD_ANALYZER_CONFIG,
+    )
+
+    reference = SearchEngine(
+        {
+            "body": CREATE_IR_ANALYZER_CONFIG,
+            "title": STANDARD_ANALYZER_CONFIG,
+        }
+    )
+    for n, doc_id in enumerate(doc_ids):
+        fields = {"body": f"fever chest pain {n}", "title": ""}
+        engine.index(doc_id, fields)
+        reference.index(doc_id, fields)
+    empties = [s for i, s in enumerate(engine.shards) if i != target]
+    assert all(shard.n_documents == 0 for shard in empties)
+
+    got = engine.search("fever pain", size=10)
+    want = reference.search({"match": {"body": "fever pain"}}, size=10)
+    assert [(h.doc_id, h.score) for h in got] == [
+        (h.doc_id, h.score) for h in want
+    ]

@@ -41,6 +41,7 @@ GATE_BENCHMARKS = {
     "segment_serving": "benchmarks/bench_segment_serving.py",
     "graph_match": "benchmarks/bench_graph_match.py",
     "serving_slo": "benchmarks/bench_serving_slo.py",
+    "cohort": "benchmarks/bench_cohort.py",
 }
 
 

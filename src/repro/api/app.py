@@ -24,6 +24,9 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.annotation.brat import parse_ann, serialize_ann
 from repro.annotation.model import AnnotationDocument
+from repro.cohort.engine import CohortEngine
+from repro.cohort.fhir import cohort_bundle
+from repro.cohort.model import CohortDefinition
 from repro.docstore.store import DocumentStore
 from repro.exceptions import AnnotationError, ApiError, ParseError, ReproError
 from repro.grobid.service import GrobidService
@@ -108,8 +111,20 @@ class CreateApplication:
             ("GET", re.compile(r"^/suggest$"), self._suggest),
             ("GET", re.compile(r"^/stats$"), self._stats),
             ("GET", re.compile(r"^/categories$"), self._categories),
+            ("POST", re.compile(r"^/cohorts$"), self._post_cohort),
+            ("GET", re.compile(r"^/cohorts$"), self._list_cohorts),
+            ("GET", re.compile(r"^/cohorts/(?P<name>[^/]+)$"), self._get_cohort),
+            ("DELETE", re.compile(r"^/cohorts/(?P<name>[^/]+)$"), self._delete_cohort),
+            ("POST", re.compile(r"^/cohorts/(?P<name>[^/]+)/evaluate$"), self._evaluate_cohort),
+            ("GET", re.compile(r"^/cohorts/(?P<name>[^/]+)/fhir$"), self._export_cohort_fhir),
         ]
         self._suggester = None
+        self.cohorts = CohortEngine(
+            self.store,
+            self.indexer.graph,
+            self.indexer.engine,
+            self._annotations.get,
+        )
 
     # -- dispatch ------------------------------------------------------------
 
@@ -361,6 +376,7 @@ class CreateApplication:
             payload["metrics"] = self.metrics.snapshot()
         if self.durability is not None:
             payload["durability"] = self.durability.stats()
+        payload["cohort"] = self.cohorts.stats()
         return Response(200, payload)
 
     def _get_html(self, body: Any, params: dict, doc_id: str) -> Response:
@@ -426,6 +442,67 @@ class CreateApplication:
                     for row in rows
                 ]
             },
+        )
+
+    # -- cohorts -------------------------------------------------------------
+
+    def _post_cohort(self, body: Any, params: dict) -> Response:
+        """Define (or replace) a named cohort; the definition is
+        validated and persisted in the docstore."""
+        definition = CohortDefinition.from_json(body)
+        cohorts = self.store.collection("cohorts")
+        cohorts.delete_one({"_id": definition.name})
+        cohorts.insert_one({"_id": definition.name, **definition.to_json()})
+        return Response(201, definition.to_json())
+
+    def _list_cohorts(self, body: Any, params: dict) -> Response:
+        rows = self.store.collection("cohorts").find(
+            sort=[("_id", 1)], projection=["name", "description"]
+        )
+        return Response(200, {"cohorts": rows})
+
+    def _get_cohort(self, body: Any, params: dict, name: str) -> Response:
+        return Response(200, self._require_cohort(name).to_json())
+
+    def _delete_cohort(self, body: Any, params: dict, name: str) -> Response:
+        self._require_cohort(name)
+        self.store.collection("cohorts").delete_one({"_id": name})
+        return Response(200, {"deleted": name})
+
+    def _evaluate_cohort(
+        self, body: Any, params: dict, name: str
+    ) -> Response:
+        """Evaluate a cohort; ``skip``/``limit`` paginate the member
+        list while ``size`` always reports the full cohort."""
+        definition = self._require_cohort(name)
+        result = self.cohorts.evaluate(definition)
+        skip = int(params.get("skip", 0))
+        limit = int(params.get("limit", 50))
+        if skip < 0 or limit < 0:
+            raise ApiError(400, "skip/limit must be non-negative")
+        payload = result.as_dict()
+        payload["members"] = result.members[skip : skip + limit]
+        payload["skip"] = skip
+        payload["limit"] = limit
+        return Response(200, payload)
+
+    def _export_cohort_fhir(
+        self, body: Any, params: dict, name: str
+    ) -> Response:
+        """The cohort as a FHIR-style Bundle with span provenance."""
+        definition = self._require_cohort(name)
+        result = self.cohorts.evaluate(definition)
+        bundle = cohort_bundle(
+            name, result.members, self._annotations.get
+        )
+        return Response(200, bundle)
+
+    def _require_cohort(self, name: str) -> CohortDefinition:
+        stored = self.store.collection("cohorts").get(name)
+        if stored is None:
+            raise ApiError(404, f"unknown cohort {name}")
+        return CohortDefinition.from_json(
+            {key: value for key, value in stored.items() if key != "_id"}
         )
 
     def _require_report(self, doc_id: str) -> dict:

@@ -1,0 +1,180 @@
+"""FHIR-style Bundle export for cohort results.
+
+A cohort evaluation exports as one ``Bundle`` resource: a ``Patient``
+per member report plus clinical resources built from that report's
+extracted mentions —
+
+* ``Condition`` from ``Disease_disorder`` spans,
+* ``MedicationStatement`` from ``Medication`` spans,
+* ``Observation`` from ``Sign_symptom`` and ``Lab_value`` spans.
+
+Every clinical resource carries a provenance extension pointing back at
+the exact source span (``reportId`` / ``spanId`` / ``start`` / ``end``
+/ ``text``), so downstream consumers can audit any structured fact
+against the report text — the same traceability contract as the BRAT
+and CoNLL exports.  Negated mentions export with
+``"status": "refuted"`` (Conditions) or ``"valueBoolean": false``
+(Observations) rather than being dropped: an explicitly denied finding
+is clinical signal.
+
+Files are written with :func:`repro.durability.atomic_write`: a crashed
+export leaves the previous complete bundle or the new one, never a
+truncated JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.annotation.model import AnnotationDocument
+from repro.exceptions import CohortError
+
+PROVENANCE_URL = "urn:repro:provenance"
+
+RESOURCE_BY_ENTITY_TYPE = {
+    "Disease_disorder": "Condition",
+    "Medication": "MedicationStatement",
+    "Sign_symptom": "Observation",
+    "Lab_value": "Observation",
+}
+
+
+def _provenance(doc_id: str, span) -> dict:
+    return {
+        "url": PROVENANCE_URL,
+        "valueReference": {
+            "reportId": doc_id,
+            "spanId": span.ann_id,
+            "start": span.start,
+            "end": span.end,
+            "text": span.text,
+        },
+    }
+
+
+def _resources_for(
+    doc_id: str, annotations: AnnotationDocument
+) -> Iterable[dict]:
+    negated = {
+        attribute.target
+        for attribute in annotations.attributes.values()
+        if attribute.label == "Negated"
+    }
+    subject = {"reference": f"Patient/{doc_id}"}
+    for span in annotations.spans_sorted():
+        resource_type = RESOURCE_BY_ENTITY_TYPE.get(span.label)
+        if resource_type is None:
+            continue
+        resource = {
+            "resourceType": resource_type,
+            "id": f"{doc_id}-{span.ann_id}",
+            "subject": subject,
+            "code": {"text": span.text},
+            "extension": [_provenance(doc_id, span)],
+        }
+        if resource_type == "Condition":
+            resource["verificationStatus"] = (
+                "refuted" if span.ann_id in negated else "confirmed"
+            )
+        elif resource_type == "Observation":
+            resource["valueBoolean"] = span.ann_id not in negated
+        elif resource_type == "MedicationStatement":
+            resource["status"] = (
+                "not-taken" if span.ann_id in negated else "active"
+            )
+        yield resource
+
+
+def cohort_bundle(
+    name: str,
+    members: Iterable[str],
+    annotations: Callable[[str], AnnotationDocument | None],
+) -> dict:
+    """Build the Bundle dict for a cohort.
+
+    Args:
+        name: cohort name, recorded as the bundle identifier.
+        members: member report ids (exported in sorted order).
+        annotations: ``doc_id -> AnnotationDocument | None`` lookup; a
+            member with no annotations exports as a bare ``Patient``.
+    """
+    entries = []
+    for doc_id in sorted(members):
+        entries.append(
+            {
+                "resource": {
+                    "resourceType": "Patient",
+                    "id": doc_id,
+                    "identifier": [
+                        {"system": "urn:repro:report", "value": doc_id}
+                    ],
+                }
+            }
+        )
+        doc = annotations(doc_id)
+        if doc is not None:
+            entries.extend(
+                {"resource": resource}
+                for resource in _resources_for(doc_id, doc)
+            )
+    return {
+        "resourceType": "Bundle",
+        "type": "collection",
+        "identifier": {"system": "urn:repro:cohort", "value": name},
+        "total": len(entries),
+        "entry": entries,
+    }
+
+
+def export_fhir_bundle(
+    name: str,
+    members: Iterable[str],
+    annotations: Callable[[str], AnnotationDocument | None],
+    path: str | Path,
+) -> dict:
+    """Write a cohort's Bundle JSON atomically; returns the bundle."""
+    from repro.durability import atomic_write
+
+    bundle = cohort_bundle(name, members, annotations)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write(path, json.dumps(bundle, indent=2, sort_keys=True))
+    return bundle
+
+
+def parse_bundle(content: str | dict) -> dict:
+    """Parse and shape-check a Bundle (round-trip helper).
+
+    Returns the bundle dict.  Raises :class:`CohortError` when the
+    payload is not a collection Bundle or an entry is missing its
+    resource.
+    """
+    bundle = (
+        json.loads(content) if isinstance(content, str) else content
+    )
+    if not isinstance(bundle, dict) or bundle.get("resourceType") != "Bundle":
+        raise CohortError("not a FHIR Bundle")
+    entries = bundle.get("entry")
+    if not isinstance(entries, list):
+        raise CohortError("Bundle has no entry list")
+    for entry in entries:
+        resource = entry.get("resource") if isinstance(entry, dict) else None
+        if not isinstance(resource, dict) or "resourceType" not in resource:
+            raise CohortError(f"malformed Bundle entry: {entry!r}")
+    if bundle.get("total") != len(entries):
+        raise CohortError(
+            f"Bundle total {bundle.get('total')!r} != {len(entries)} entries"
+        )
+    return bundle
+
+
+def bundle_provenance(bundle: dict) -> list[dict]:
+    """Every provenance reference in a parsed bundle (audit helper)."""
+    out = []
+    for entry in bundle.get("entry", []):
+        for extension in entry.get("resource", {}).get("extension", []):
+            if extension.get("url") == PROVENANCE_URL:
+                out.append(extension["valueReference"])
+    return out

@@ -140,6 +140,10 @@ class PipelineError(ReproError):
     """End-to-end pipeline orchestration failure."""
 
 
+class CohortError(ReproError):
+    """Malformed cohort definition or criterion."""
+
+
 class ApiError(ReproError):
     """Application-facade request failure, carries an HTTP-like status."""
 

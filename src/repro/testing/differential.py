@@ -46,6 +46,7 @@ from repro.testing.oracles import (
     exhaustive_decode,
     reference_closure,
 )
+from repro.testing.cohort import check_cohort_case, gen_cohort_case
 from repro.testing.replication import check_replication_case
 from repro.testing.rng import case_rng
 from repro.testing.segments import check_segment_case
@@ -62,6 +63,7 @@ SUBSYSTEMS = (
     "serving",
     "segments",
     "replication",
+    "cohort",
 )
 
 _TOLERANCE = 1e-8
@@ -469,6 +471,7 @@ GENERATORS = {
     "serving": generators.gen_serving_case,
     "segments": generators.gen_segment_case,
     "replication": generators.gen_replication_case,
+    "cohort": gen_cohort_case,
 }
 
 CHECKERS = {
@@ -482,6 +485,7 @@ CHECKERS = {
     "serving": check_serving_case,
     "segments": check_segment_case,
     "replication": check_replication_case,
+    "cohort": check_cohort_case,
 }
 
 

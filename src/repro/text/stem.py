@@ -9,6 +9,8 @@ conflation).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 _VOWELS = frozenset("aeiou")
 
 
@@ -24,6 +26,9 @@ class PorterStemmer:
 
     def stem(self, word: str) -> str:
         """Return the stem of ``word`` (expects a lower-case token)."""
+        return _cached_stem(word)
+
+    def _stem_uncached(self, word: str) -> str:
         if len(word) <= 2:
             return word
         word = self._step1a(word)
@@ -195,6 +200,16 @@ class PorterStemmer:
 _DEFAULT = PorterStemmer()
 
 
+# Stemming is a pure string→string function sitting on the hot path of
+# every analyzer chain (the CREATe-IR n-gram analyzer stems each gram),
+# so a shared memo turns the dominant indexing cost into a dict hit.
+# Corpus vocabulary is small relative to token volume; 64k entries hold
+# it comfortably while bounding worst-case memory on adversarial input.
+@lru_cache(maxsize=1 << 16)
+def _cached_stem(word: str) -> str:
+    return _DEFAULT._stem_uncached(word)
+
+
 def stem(word: str) -> str:
     """Stem ``word`` with a shared :class:`PorterStemmer` instance."""
-    return _DEFAULT.stem(word.lower())
+    return _cached_stem(word.lower())

@@ -14,6 +14,17 @@ Routes (method, path template):
 * ``PUT  /reports/{id}/ann``     — replace annotations (validated).
 * ``GET  /search``               — CREATe-IR search (``q``, ``size``).
 * ``GET  /stats``                — corpus statistics (Figure 1 data).
+* ``GET  /review/queue``         — undecided claims (``skip``, ``limit``,
+  ``doc_id`` params).
+* ``GET  /review/claims/{id}``   — one claim with its decisions.
+* ``POST /review/claims/{id}/decision`` — record a reviewer verdict.
+* ``GET  /review/reports/{id}``  — HTML evidence view with decision
+  anchors.
+* ``GET  /review/agreement``     — inter-reviewer agreement over
+  doubly-reviewed claims.
+
+All integer query parameters are validated by :func:`_int_param`:
+non-integers and negatives return 400, never 500.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ from repro.exceptions import AnnotationError, ApiError, ParseError, ReproError
 from repro.grobid.service import GrobidService
 from repro.ir.indexer import CreateIrIndexer
 from repro.ir.searcher import CreateIrSearcher
+from repro.review.queue import ReviewQueue
 from repro.schema.validation import SchemaValidator
 from repro.temporal.graph import TemporalGraph
 from repro.temporal.relations import THREE_WAY_ALGEBRA
@@ -41,6 +53,38 @@ from repro.viz.timeline import render_timeline_svg
 if TYPE_CHECKING:  # pragma: no cover
     from repro.durability import DurabilityManager
     from repro.runtime.metrics import MetricsRegistry
+
+
+def _int_param(params: dict, name: str, default: int) -> int:
+    """A non-negative integer query parameter, or 400.
+
+    ``int()`` on raw query input raises bare ``ValueError``/``TypeError``
+    which the dispatcher would surface as a 500; this helper turns both
+    malformed and negative values into a client-visible 400.
+    """
+    raw = params.get(name, default)
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise ApiError(
+            400, f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ApiError(400, f"{name} must be non-negative, got {value}")
+    return value
+
+
+def _opt_int_field(body: dict, name: str) -> int | None:
+    """An optional integer body field, or 400."""
+    raw = body.get(name)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise ApiError(
+            400, f"{name} must be an integer, got {raw!r}"
+        ) from None
 
 
 @dataclass
@@ -80,6 +124,9 @@ class CreateApplication:
         durability: optional WAL manager; when present, every
             report-mutating request seals its journaled ops into one
             commit record, and ``/stats`` serves WAL/recovery health.
+        review: the durable review queue; registered reports with
+            annotations are enrolled automatically and ``/review``
+            routes serve it.
     """
 
     store: DocumentStore
@@ -93,6 +140,7 @@ class CreateApplication:
     serving_stats: Callable[[], dict] | None = None
     frontend_stats: Callable[[], dict] | None = None
     durability: "DurabilityManager | None" = None
+    review: ReviewQueue = field(default_factory=ReviewQueue)
 
     def __post_init__(self) -> None:
         self._annotations: dict[str, AnnotationDocument] = {}
@@ -117,6 +165,11 @@ class CreateApplication:
             ("DELETE", re.compile(r"^/cohorts/(?P<name>[^/]+)$"), self._delete_cohort),
             ("POST", re.compile(r"^/cohorts/(?P<name>[^/]+)/evaluate$"), self._evaluate_cohort),
             ("GET", re.compile(r"^/cohorts/(?P<name>[^/]+)/fhir$"), self._export_cohort_fhir),
+            ("GET", re.compile(r"^/review/queue$"), self._review_queue),
+            ("GET", re.compile(r"^/review/claims/(?P<claim_id>[^/]+)$"), self._review_claim),
+            ("POST", re.compile(r"^/review/claims/(?P<claim_id>[^/]+)/decision$"), self._review_decide),
+            ("GET", re.compile(r"^/review/reports/(?P<doc_id>[^/]+)$"), self._review_report),
+            ("GET", re.compile(r"^/review/agreement$"), self._review_agreement),
         ]
         self._suggester = None
         self.cohorts = CohortEngine(
@@ -176,6 +229,7 @@ class CreateApplication:
                 self.indexer.index_annotation_document(
                     doc_id, document.get("title", ""), annotations
                 )
+                self.review.enqueue_document(doc_id, annotations)
             else:
                 self.indexer.engine.index(
                     doc_id,
@@ -230,8 +284,8 @@ class CreateApplication:
         reports = self.store.collection("reports").find(
             query,
             sort=[("_id", 1)],
-            skip=int(params.get("skip", 0)),
-            limit=int(params.get("limit", 20)),
+            skip=_int_param(params, "skip", 0),
+            limit=_int_param(params, "limit", 20),
             projection=["title", "category", "year", "journal"],
         )
         return Response(200, {"reports": reports})
@@ -311,6 +365,10 @@ class CreateApplication:
                 },
             )
         self._annotations[doc_id] = annotations
+        self.review.drop_document(doc_id)
+        self.review.enqueue_document(doc_id, annotations)
+        if self.durability is not None:
+            self.durability.commit()
         return Response(200, {"id": doc_id, "spans": len(annotations.textbounds)})
 
     def _delete_report(self, body: Any, params: dict, doc_id: str) -> Response:
@@ -320,6 +378,7 @@ class CreateApplication:
         for node in self.indexer.graph.find_nodes(doc_id=doc_id):
             self.indexer.graph.remove_node(node.node_id)
         self._annotations.pop(doc_id, None)
+        self.review.drop_document(doc_id)
         self._suggester = None  # vocabulary changed
         if self.durability is not None:
             self.durability.commit()
@@ -329,7 +388,7 @@ class CreateApplication:
         query = params.get("q", "")
         if not query:
             raise ApiError(400, "missing query parameter q")
-        size = int(params.get("size", 10))
+        size = _int_param(params, "size", 10)
         want_highlight = str(params.get("highlight", "")).lower() in (
             "1",
             "true",
@@ -377,6 +436,7 @@ class CreateApplication:
         if self.durability is not None:
             payload["durability"] = self.durability.stats()
         payload["cohort"] = self.cohorts.stats()
+        payload["review"] = self.review.stats()
         return Response(200, payload)
 
     def _get_html(self, body: Any, params: dict, doc_id: str) -> Response:
@@ -408,7 +468,7 @@ class CreateApplication:
             suggester.add_from_graph(self.indexer.graph)
             suggester.add_from_ontology(self.indexer.normalizer.ontology)
             self._suggester = suggester
-        limit = int(params.get("size", 8))
+        limit = _int_param(params, "size", 8)
         return Response(
             200,
             {
@@ -476,10 +536,8 @@ class CreateApplication:
         list while ``size`` always reports the full cohort."""
         definition = self._require_cohort(name)
         result = self.cohorts.evaluate(definition)
-        skip = int(params.get("skip", 0))
-        limit = int(params.get("limit", 50))
-        if skip < 0 or limit < 0:
-            raise ApiError(400, "skip/limit must be non-negative")
+        skip = _int_param(params, "skip", 0)
+        limit = _int_param(params, "limit", 50)
         payload = result.as_dict()
         payload["members"] = result.members[skip : skip + limit]
         payload["skip"] = skip
@@ -510,3 +568,96 @@ class CreateApplication:
         if document is None:
             raise ApiError(404, f"unknown report {doc_id}")
         return document
+
+    # -- review --------------------------------------------------------------
+
+    @staticmethod
+    def _claim_payload(claim, decisions) -> dict:
+        return {
+            "claim": claim.to_json(),
+            "status": "decided" if decisions else "queued",
+            "decisions": [decision.to_json() for decision in decisions],
+        }
+
+    def _review_queue(self, body: Any, params: dict) -> Response:
+        """Undecided claims in queue order, paginated."""
+        skip = _int_param(params, "skip", 0)
+        limit = _int_param(params, "limit", 20)
+        queued = self.review.queued(doc_id=params.get("doc_id"))
+        return Response(
+            200,
+            {
+                "total": len(queued),
+                "skip": skip,
+                "limit": limit,
+                "claims": [
+                    claim.to_json()
+                    for claim in queued[skip : skip + limit]
+                ],
+            },
+        )
+
+    def _review_claim(self, body: Any, params: dict, claim_id: str) -> Response:
+        claim = self.review.claim(claim_id)
+        if claim is None:
+            raise ApiError(404, f"unknown claim {claim_id}")
+        return Response(
+            200,
+            self._claim_payload(claim, self.review.decisions_of(claim_id)),
+        )
+
+    def _review_decide(self, body: Any, params: dict, claim_id: str) -> Response:
+        """Record one reviewer's verdict; the decision is journaled and
+        committed through the WAL before the response acknowledges it."""
+        if self.review.claim(claim_id) is None:
+            raise ApiError(404, f"unknown claim {claim_id}")
+        if not isinstance(body, dict):
+            raise ApiError(400, "decision body must be a JSON object")
+        decision = self.review.decide(
+            claim_id,
+            reviewer=str(body.get("reviewer", "")),
+            verdict=str(body.get("verdict", "")),
+            label=(
+                None if body.get("label") is None else str(body["label"])
+            ),
+            start=_opt_int_field(body, "start"),
+            end=_opt_int_field(body, "end"),
+            note=str(body.get("note", "")),
+        )
+        if self.durability is not None:
+            self.durability.commit()
+        return Response(
+            201,
+            {
+                "decision": decision.to_json(),
+                "queue_depth": self.review.stats()["queue_depth"],
+            },
+        )
+
+    def _review_report(self, body: Any, params: dict, doc_id: str) -> Response:
+        """The HTML evidence view: highlighted spans with per-claim
+        decision anchors."""
+        from repro.review.html import render_review_html
+
+        if self.review.document_text(doc_id) is None:
+            raise ApiError(404, f"report {doc_id} is not under review")
+        return Response(200, render_review_html(self.review, doc_id))
+
+    def _review_agreement(self, body: Any, params: dict) -> Response:
+        pair = self.review.pair_agreement()
+        if pair is None:
+            return Response(200, {"doubly_reviewed": 0})
+        return Response(
+            200,
+            {
+                "doubly_reviewed": self.review.stats()["double_reviewed"],
+                "reviewer_a": pair.reviewer_a,
+                "reviewer_b": pair.reviewer_b,
+                "n_claims": pair.n_claims,
+                "verdict_kappa": pair.verdict_kappa,
+                "span_f1": pair.report.span_f1.f1,
+                "token_kappa": pair.report.token_kappa,
+                "relation_f1": pair.report.relation_f1.f1,
+                "n_documents": pair.report.n_documents,
+            },
+        )

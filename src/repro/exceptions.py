@@ -144,6 +144,10 @@ class CohortError(ReproError):
     """Malformed cohort definition or criterion."""
 
 
+class ReviewError(ReproError):
+    """Invalid review-queue operation (unknown claim, bad decision)."""
+
+
 class ApiError(ReproError):
     """Application-facade request failure, carries an HTTP-like status."""
 

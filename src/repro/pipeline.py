@@ -352,10 +352,10 @@ class CreatePipeline:
             postings, bit-identical scores).  Ignored when
             ``serving_shards`` >= 1.
         durability: optional WAL/snapshot manager.  When set, the
-            docstore, property graph, and keyword index are attached to
-            it, every registered report commits as one atomic WAL
-            record, and :meth:`recover` rebuilds all three stores from
-            disk after a crash.  Sharded serving participates through
+            docstore, property graph, keyword index, and review queue
+            are attached to it, every registered report commits as one
+            atomic WAL record, and :meth:`recover` rebuilds all four
+            stores from disk after a crash.  Sharded serving participates through
             its facades: one WAL record still carries a whole document.
     """
 
@@ -421,6 +421,10 @@ class CreatePipeline:
             serving_stats=serving_stats,
             durability=self.durability,
         )
+        if self.durability is not None:
+            # Review claims/decisions replay after the stores they
+            # reference: a recovered claim always finds its report.
+            self.durability.attach("review", self.app.review)
 
     def _serving_stats(self) -> dict:
         """The ``/stats`` serving section (sharded configuration only)."""

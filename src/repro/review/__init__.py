@@ -1,0 +1,36 @@
+"""Evidence-grounded extraction review (`repro.review`).
+
+The human-in-the-loop tier over the extraction pipeline: every
+extracted mention/relation becomes a :class:`Claim` tied to its source
+span, reviewers record accept/edit/reject :class:`Decision`\\ s through
+the durable :class:`ReviewQueue`, and accepted corrections flow back
+out as CRF training examples — the extract → review → retrain loop.
+"""
+
+from repro.review.html import render_review_html
+from repro.review.model import (
+    MENTION,
+    RELATION,
+    VERDICTS,
+    Claim,
+    Decision,
+    claim_id_for,
+)
+from repro.review.queue import (
+    PairAgreement,
+    ReviewExample,
+    ReviewQueue,
+)
+
+__all__ = [
+    "MENTION",
+    "RELATION",
+    "VERDICTS",
+    "Claim",
+    "Decision",
+    "PairAgreement",
+    "ReviewExample",
+    "ReviewQueue",
+    "claim_id_for",
+    "render_review_html",
+]

@@ -1,0 +1,555 @@
+"""The durable review queue: claim -> decide -> commit, WAL-replayable.
+
+Every extracted mention/relation of an enrolled report becomes a
+:class:`~repro.review.model.Claim`; reviewers pull queued claims and
+record accept/edit/reject :class:`~repro.review.model.Decision`\\ s.
+The queue speaks the :class:`repro.durability.Durable` protocol — under
+a :class:`~repro.durability.DurabilityManager` it journals one
+``review`` op per logical mutation, so a report's docstore insert, its
+index entries, and its review claims land in **one** WAL commit record,
+and an acknowledged decision survives crash-replay.
+
+Closing the loop, :meth:`ReviewQueue.accepted_corrections` exports the
+reviewer-corrected documents as BIO-encoded CRF training examples
+(:mod:`repro.ner.encoding`), so accepted edits retrain the tagger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.annotation.agreement import AgreementReport, agreement, cohens_kappa
+from repro.annotation.model import AnnotationDocument
+from repro.exceptions import ReviewError
+from repro.ner.encoding import bio_encode, spans_of_document
+from repro.review.model import (
+    MENTION,
+    RELATION,
+    Claim,
+    Decision,
+    claim_id_for,
+)
+from repro.text.tokenize import Token, tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class ReviewExample:
+    """One reviewer-corrected document as CRF training material."""
+
+    doc_id: str
+    document: AnnotationDocument
+    tokens: list[Token]
+    labels: list[str]  # BIO tags aligned with ``tokens``
+
+
+@dataclass(frozen=True, slots=True)
+class PairAgreement:
+    """Inter-reviewer agreement over doubly-reviewed claims."""
+
+    reviewer_a: str
+    reviewer_b: str
+    n_claims: int
+    verdict_kappa: float
+    report: AgreementReport
+
+
+class ReviewQueue:
+    """Claims and decisions over the stored report corpus.
+
+    State is three insertion-ordered maps — document texts, claims,
+    and per-claim decision lists — every mutation of which journals a
+    replayable op when :attr:`journal` is a list (the ``Durable``
+    contract; the durability manager seals journals into WAL records).
+
+    A claim is *queued* until its first decision and *decided* after;
+    later reviewers may still decide a decided claim (double review,
+    feeding :meth:`pair_agreement`), and a reviewer re-deciding a claim
+    replaces their earlier verdict.
+    """
+
+    def __init__(self):
+        self._texts: dict[str, str] = {}
+        self._claims: dict[str, Claim] = {}
+        self._decisions: dict[str, list[Decision]] = {}
+        self.journal: list | None = None
+
+    # -- enrollment --------------------------------------------------------
+
+    def enqueue_document(
+        self, doc_id: str, annotations: AnnotationDocument
+    ) -> list[Claim]:
+        """Turn every extracted mention/relation into a queued claim.
+
+        Returns the new claims in queue order.
+
+        Raises:
+            ReviewError: the report is already enrolled (drop it first).
+        """
+        claims = self._claims_of_annotations(doc_id, annotations)
+        self._apply_enqueue(doc_id, annotations.text, claims)
+        self._log(
+            {
+                "op": "enqueue",
+                "doc": doc_id,
+                "text": annotations.text,
+                "claims": [claim.to_json() for claim in claims],
+            }
+        )
+        return claims
+
+    def drop_document(self, doc_id: str) -> int:
+        """Remove a report's claims and decisions (e.g. report deleted).
+
+        Returns the number of claims removed (0 when not enrolled).
+        """
+        enrolled = doc_id in self._texts
+        removed = self._apply_drop(doc_id)
+        if enrolled:
+            # Journal even a zero-claim drop: the enrollment itself is
+            # state, and replay must forget it too.
+            self._log({"op": "drop", "doc": doc_id})
+        return removed
+
+    # -- review ------------------------------------------------------------
+
+    def decide(
+        self,
+        claim_id: str,
+        reviewer: str,
+        verdict: str,
+        label: str | None = None,
+        start: int | None = None,
+        end: int | None = None,
+        note: str = "",
+    ) -> Decision:
+        """Record one reviewer's verdict on one claim.
+
+        Raises:
+            ReviewError: unknown claim, malformed verdict/correction,
+                corrected offsets outside the report text, or offset
+                corrections on a relation claim (only the label of a
+                relation can be edited).
+        """
+        claim = self._claims.get(claim_id)
+        if claim is None:
+            raise ReviewError(f"unknown claim {claim_id!r}")
+        decision = Decision(
+            claim_id=claim_id,
+            reviewer=reviewer,
+            verdict=verdict,
+            label=label,
+            start=start,
+            end=end,
+            note=note,
+        )
+        self._validate_correction(claim, decision)
+        self._apply_decision(decision)
+        self._log({"op": "decide", "decision": decision.to_json()})
+        return decision
+
+    # -- queries -----------------------------------------------------------
+
+    def claim(self, claim_id: str) -> Claim | None:
+        return self._claims.get(claim_id)
+
+    def decisions_of(self, claim_id: str) -> list[Decision]:
+        """The claim's decisions, oldest reviewer verdict first (a
+        re-decide moves that reviewer to the end)."""
+        return list(self._decisions.get(claim_id, ()))
+
+    def effective_decision(self, claim_id: str) -> Decision | None:
+        """The most recently recorded verdict, or None while queued."""
+        decisions = self._decisions.get(claim_id)
+        return decisions[-1] if decisions else None
+
+    def is_queued(self, claim_id: str) -> bool:
+        return claim_id in self._claims and not self._decisions.get(claim_id)
+
+    def queued(self, doc_id: str | None = None) -> list[Claim]:
+        """Undecided claims in queue order (optionally one report's)."""
+        return [
+            claim
+            for claim in self._claims.values()
+            if not self._decisions.get(claim.claim_id)
+            and (doc_id is None or claim.doc_id == doc_id)
+        ]
+
+    def decided(self, doc_id: str | None = None) -> list[Claim]:
+        """Claims with at least one decision, in queue order."""
+        return [
+            claim
+            for claim in self._claims.values()
+            if self._decisions.get(claim.claim_id)
+            and (doc_id is None or claim.doc_id == doc_id)
+        ]
+
+    def claims_of(self, doc_id: str) -> list[Claim]:
+        """All of one report's claims in queue order."""
+        return [
+            claim
+            for claim in self._claims.values()
+            if claim.doc_id == doc_id
+        ]
+
+    def document_text(self, doc_id: str) -> str | None:
+        return self._texts.get(doc_id)
+
+    def documents(self) -> list[str]:
+        """Enrolled report ids in enrollment order."""
+        return list(self._texts)
+
+    def stats(self) -> dict:
+        """The ``/stats`` review section: queue depth, decided counts
+        by verdict, and per-reviewer counters."""
+        by_verdict = {"accept": 0, "edit": 0, "reject": 0}
+        reviewers: dict[str, int] = {}
+        double_reviewed = 0
+        decided = 0
+        for claim_id in self._claims:
+            decisions = self._decisions.get(claim_id)
+            if not decisions:
+                continue
+            decided += 1
+            by_verdict[decisions[-1].verdict] += 1
+            if len(decisions) >= 2:
+                double_reviewed += 1
+            for decision in decisions:
+                reviewers[decision.reviewer] = (
+                    reviewers.get(decision.reviewer, 0) + 1
+                )
+        return {
+            "documents": len(self._texts),
+            "claims": len(self._claims),
+            "queue_depth": len(self._claims) - decided,
+            "decided": decided,
+            "by_verdict": by_verdict,
+            "double_reviewed": double_reviewed,
+            "reviewers": dict(sorted(reviewers.items())),
+        }
+
+    # -- the feedback loop -------------------------------------------------
+
+    def corrected_document(
+        self, doc_id: str, reviewer: str | None = None
+    ) -> AnnotationDocument:
+        """The report's annotations as amended by review decisions.
+
+        Accepted claims keep their extracted span, edited claims take
+        the corrected label/offsets, rejected and still-queued claims
+        are dropped (only verified content counts as gold).  With
+        ``reviewer`` the view is restricted to that reviewer's own
+        verdicts; otherwise each claim's effective (latest) decision
+        applies.
+
+        Raises:
+            ReviewError: the report is not enrolled.
+        """
+        text = self._texts.get(doc_id)
+        if text is None:
+            raise ReviewError(f"report {doc_id!r} is not enrolled")
+        doc = AnnotationDocument(doc_id=doc_id, text=text)
+        for claim in self.claims_of(doc_id):
+            if claim.kind != MENTION:
+                continue
+            decision = self._decision_for(claim.claim_id, reviewer)
+            if decision is None or decision.verdict == "reject":
+                continue
+            label = claim.label
+            start, end = claim.start, claim.end
+            if decision.verdict == "edit":
+                label = decision.label or label
+                if decision.start is not None:
+                    start, end = decision.start, decision.end
+            tb = doc.add_textbound(label, start, end, ann_id=claim.span_id)
+            if claim.negated:
+                doc.add_attribute("Negated", tb.ann_id)
+        for claim in self.claims_of(doc_id):
+            if claim.kind != RELATION:
+                continue
+            decision = self._decision_for(claim.claim_id, reviewer)
+            if decision is None or decision.verdict == "reject":
+                continue
+            if (
+                claim.source not in doc.textbounds
+                or claim.target not in doc.textbounds
+            ):
+                continue  # an endpoint was rejected or re-spanned away
+            label = claim.label
+            if decision.verdict == "edit" and decision.label:
+                label = decision.label
+            doc.add_relation(
+                label, claim.source, claim.target, ann_id=claim.span_id
+            )
+        return doc
+
+    def accepted_corrections(self) -> list[ReviewExample]:
+        """Reviewer-verified documents as incremental CRF training data.
+
+        One example per enrolled report with at least one accepted or
+        edited mention claim: the corrected annotation document plus
+        its token sequence and BIO tag sequence
+        (:func:`repro.ner.encoding.bio_encode`), ready to extend a
+        :class:`repro.ner.tagger.NerTagger` training set.
+        """
+        examples = []
+        for doc_id in self._texts:
+            verified = [
+                claim
+                for claim in self.claims_of(doc_id)
+                if claim.kind == MENTION
+                and (decision := self.effective_decision(claim.claim_id))
+                is not None
+                and decision.verdict in ("accept", "edit")
+            ]
+            if not verified:
+                continue
+            document = self.corrected_document(doc_id)
+            tokens = tokenize(document.text)
+            labels = bio_encode(tokens, spans_of_document(document))
+            examples.append(
+                ReviewExample(doc_id, document, tokens, labels)
+            )
+        return examples
+
+    def pair_agreement(self) -> PairAgreement | None:
+        """Agreement between the two reviewers sharing the most
+        doubly-reviewed claims (None when no claim has two reviews).
+
+        Each reviewer's verdicts over the co-reviewed claims are
+        projected to per-report annotation documents and scored with
+        :func:`repro.annotation.agreement.agreement` (span F1, token
+        kappa, relation F1); the verdict strings themselves are scored
+        with Cohen's kappa.
+        """
+        co_reviewed: dict[tuple[str, str], list[str]] = {}
+        for claim_id in self._claims:
+            decisions = self._decisions.get(claim_id, [])
+            names = sorted({d.reviewer for d in decisions})
+            for i, a in enumerate(names):
+                for b in names[i + 1 :]:
+                    co_reviewed.setdefault((a, b), []).append(claim_id)
+        if not co_reviewed:
+            return None
+        pair = max(co_reviewed, key=lambda p: (len(co_reviewed[p]), p))
+        reviewer_a, reviewer_b = pair
+        shared = set(co_reviewed[pair])
+
+        doc_ids = sorted(
+            {self._claims[claim_id].doc_id for claim_id in shared}
+        )
+        docs_a = [
+            self._restricted_document(doc_id, reviewer_a, shared)
+            for doc_id in doc_ids
+        ]
+        docs_b = [
+            self._restricted_document(doc_id, reviewer_b, shared)
+            for doc_id in doc_ids
+        ]
+        verdicts_a = []
+        verdicts_b = []
+        for claim_id in co_reviewed[pair]:
+            by_name = {
+                d.reviewer: d.verdict for d in self._decisions[claim_id]
+            }
+            verdicts_a.append(by_name[reviewer_a])
+            verdicts_b.append(by_name[reviewer_b])
+        return PairAgreement(
+            reviewer_a=reviewer_a,
+            reviewer_b=reviewer_b,
+            n_claims=len(shared),
+            verdict_kappa=cohens_kappa(verdicts_a, verdicts_b),
+            report=agreement(docs_a, docs_b),
+        )
+
+    # -- durability (repro.durability.Durable protocol) --------------------
+
+    def durable_apply(self, op: dict) -> None:
+        """Replay one journaled ``review`` op (journal suspended by the
+        manager).  A double-applied ``enqueue`` raises — replaying the
+        same commit twice is a WAL bug, not a recovery path."""
+        kind = op.get("op")
+        if kind == "enqueue":
+            self._apply_enqueue(
+                op["doc"],
+                op["text"],
+                [Claim.from_json(claim) for claim in op["claims"]],
+            )
+        elif kind == "decide":
+            self._apply_decision(Decision.from_json(op["decision"]))
+        elif kind == "drop":
+            self._apply_drop(op["doc"])
+        else:
+            raise ReviewError(f"unknown review journal op: {kind!r}")
+
+    def durable_snapshot(self) -> dict:
+        return {
+            "docs": [[doc_id, text] for doc_id, text in self._texts.items()],
+            "claims": [claim.to_json() for claim in self._claims.values()],
+            "decisions": [
+                [claim_id, [d.to_json() for d in decisions]]
+                for claim_id, decisions in self._decisions.items()
+                if decisions
+            ],
+        }
+
+    def durable_restore(self, state: dict) -> None:
+        self._texts.clear()
+        self._claims.clear()
+        self._decisions.clear()
+        for doc_id, text in state.get("docs", ()):
+            self._texts[str(doc_id)] = str(text)
+        for payload in state.get("claims", ()):
+            claim = Claim.from_json(payload)
+            self._claims[claim.claim_id] = claim
+        for claim_id, decisions in state.get("decisions", ()):
+            self._decisions[str(claim_id)] = [
+                Decision.from_json(d) for d in decisions
+            ]
+
+    # -- internals ---------------------------------------------------------
+
+    def _claims_of_annotations(
+        self, doc_id: str, annotations: AnnotationDocument
+    ) -> list[Claim]:
+        claims = []
+        for tb in annotations.spans_sorted():
+            claims.append(
+                Claim(
+                    claim_id=claim_id_for(doc_id, tb.ann_id),
+                    doc_id=doc_id,
+                    span_id=tb.ann_id,
+                    kind=MENTION,
+                    label=tb.label,
+                    value=tb.text,
+                    start=tb.start,
+                    end=tb.end,
+                    negated=annotations.is_negated(tb.ann_id),
+                )
+            )
+        for ann_id in sorted(annotations.relations):
+            rel = annotations.relations[ann_id]
+            source = annotations.textbounds.get(rel.source)
+            target = annotations.textbounds.get(rel.target)
+            if source is None or target is None:
+                continue
+            claims.append(
+                Claim(
+                    claim_id=claim_id_for(doc_id, ann_id),
+                    doc_id=doc_id,
+                    span_id=ann_id,
+                    kind=RELATION,
+                    label=rel.label,
+                    value=f"{source.text} -{rel.label}-> {target.text}",
+                    start=min(source.start, target.start),
+                    end=max(source.end, target.end),
+                    source=rel.source,
+                    target=rel.target,
+                )
+            )
+        return claims
+
+    def _apply_enqueue(
+        self, doc_id: str, text: str, claims: list[Claim]
+    ) -> None:
+        if doc_id in self._texts:
+            raise ReviewError(f"report {doc_id!r} is already enrolled")
+        self._texts[doc_id] = text
+        for claim in claims:
+            if claim.claim_id in self._claims:
+                raise ReviewError(f"duplicate claim {claim.claim_id!r}")
+            self._claims[claim.claim_id] = claim
+
+    def _apply_decision(self, decision: Decision) -> None:
+        if decision.claim_id not in self._claims:
+            raise ReviewError(f"unknown claim {decision.claim_id!r}")
+        decisions = self._decisions.setdefault(decision.claim_id, [])
+        decisions[:] = [
+            d for d in decisions if d.reviewer != decision.reviewer
+        ]
+        decisions.append(decision)
+
+    def _apply_drop(self, doc_id: str) -> int:
+        if doc_id not in self._texts:
+            return 0
+        del self._texts[doc_id]
+        victims = [
+            claim_id
+            for claim_id, claim in self._claims.items()
+            if claim.doc_id == doc_id
+        ]
+        for claim_id in victims:
+            del self._claims[claim_id]
+            self._decisions.pop(claim_id, None)
+        return len(victims)
+
+    def _validate_correction(self, claim: Claim, decision: Decision) -> None:
+        if decision.verdict != "edit":
+            return
+        if claim.kind == RELATION and decision.start is not None:
+            raise ReviewError(
+                f"{claim.claim_id}: relation claims take label "
+                "corrections only, not offsets"
+            )
+        if decision.start is not None:
+            text = self._texts[claim.doc_id]
+            if decision.end > len(text):
+                raise ReviewError(
+                    f"{claim.claim_id}: corrected span end {decision.end} "
+                    f"beyond report length {len(text)}"
+                )
+
+    def _decision_for(
+        self, claim_id: str, reviewer: str | None
+    ) -> Decision | None:
+        decisions = self._decisions.get(claim_id)
+        if not decisions:
+            return None
+        if reviewer is None:
+            return decisions[-1]
+        for decision in decisions:
+            if decision.reviewer == reviewer:
+                return decision
+        return None
+
+    def _restricted_document(
+        self, doc_id: str, reviewer: str, allowed: set[str]
+    ) -> AnnotationDocument:
+        """One reviewer's effective annotations over only the claims in
+        ``allowed`` (the co-reviewed set), for agreement scoring."""
+        text = self._texts[doc_id]
+        doc = AnnotationDocument(doc_id=doc_id, text=text)
+        for claim in self.claims_of(doc_id):
+            if claim.claim_id not in allowed or claim.kind != MENTION:
+                continue
+            decision = self._decision_for(claim.claim_id, reviewer)
+            if decision is None or decision.verdict == "reject":
+                continue
+            label = claim.label
+            start, end = claim.start, claim.end
+            if decision.verdict == "edit":
+                label = decision.label or label
+                if decision.start is not None:
+                    start, end = decision.start, decision.end
+            doc.add_textbound(label, start, end, ann_id=claim.span_id)
+        for claim in self.claims_of(doc_id):
+            if claim.claim_id not in allowed or claim.kind != RELATION:
+                continue
+            decision = self._decision_for(claim.claim_id, reviewer)
+            if decision is None or decision.verdict == "reject":
+                continue
+            if (
+                claim.source not in doc.textbounds
+                or claim.target not in doc.textbounds
+            ):
+                continue
+            label = claim.label
+            if decision.verdict == "edit" and decision.label:
+                label = decision.label
+            doc.add_relation(
+                label, claim.source, claim.target, ann_id=claim.span_id
+            )
+        return doc
+
+    def _log(self, op: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(op)

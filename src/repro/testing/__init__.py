@@ -35,6 +35,7 @@ from repro.testing.oracles import (
     reference_fuse,
 )
 from repro.testing.replication import check_replication_case
+from repro.testing.review import check_review_case, gen_review_case
 from repro.testing.rng import case_rng, derive_seed
 from repro.testing.serving import check_serving_case
 from repro.testing.shrink import shrink
@@ -53,8 +54,10 @@ __all__ = [
     "check_case",
     "check_durability_case",
     "check_replication_case",
+    "check_review_case",
     "check_serving_case",
     "derive_seed",
+    "gen_review_case",
     "visible_doc_ids",
     "exhaustive_decode",
     "generate_case",

@@ -48,6 +48,7 @@ from repro.testing.oracles import (
 )
 from repro.testing.cohort import check_cohort_case, gen_cohort_case
 from repro.testing.replication import check_replication_case
+from repro.testing.review import check_review_case, gen_review_case
 from repro.testing.rng import case_rng
 from repro.testing.segments import check_segment_case
 from repro.testing.serving import check_serving_case
@@ -64,6 +65,7 @@ SUBSYSTEMS = (
     "segments",
     "replication",
     "cohort",
+    "review",
 )
 
 _TOLERANCE = 1e-8
@@ -472,6 +474,7 @@ GENERATORS = {
     "segments": generators.gen_segment_case,
     "replication": generators.gen_replication_case,
     "cohort": gen_cohort_case,
+    "review": gen_review_case,
 }
 
 CHECKERS = {
@@ -486,6 +489,7 @@ CHECKERS = {
     "segments": check_segment_case,
     "replication": check_replication_case,
     "cohort": check_cohort_case,
+    "review": check_review_case,
 }
 
 

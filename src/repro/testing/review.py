@@ -1,0 +1,491 @@
+"""Review-queue crash fuzzing: seeded decision schedules vs. an oracle.
+
+One generated case is a short enroll/decide/drop workload over a
+:class:`~repro.review.queue.ReviewQueue` run under a
+:class:`~repro.durability.DurabilityManager`, usually with one
+deterministic fault injected into the filesystem operation stream.
+The checker recovers from the surviving bytes and verifies the review
+durability contract against a never-crashed oracle:
+
+* **No lost acked decision** — the recovered state covers at least
+  every action whose commit LSN was acknowledged before the fault.
+* **No double-commit** — recovery replays each WAL record exactly
+  once: a re-applied ``enqueue`` raises inside
+  :meth:`ReviewQueue.durable_apply` (surfacing as a recovery failure),
+  and a re-applied ``decide`` would break the whole-prefix state
+  equality below, since decision lists are part of the canonical state.
+* **Prefix consistency** — the recovered state equals the oracle's
+  state after some *whole* prefix of the schedule; never a partial
+  enroll, never a decision without its claim.
+* **Partition exactness** — after finishing the schedule on the
+  recovered queue, the queued/decided claim partition is bit-identical
+  to the never-crashed oracle's.
+
+Fault-free cases double as a snapshot+WAL equivalence check.
+"""
+
+from __future__ import annotations
+
+import json
+from random import Random
+
+from repro.annotation.model import AnnotationDocument
+from repro.durability import (
+    DurabilityManager,
+    FaultInjector,
+    InjectedCrash,
+    MemFS,
+)
+from repro.exceptions import DurabilityError
+from repro.review.model import VERDICTS, claim_id_for
+from repro.review.queue import ReviewQueue
+from repro.testing.generators import gen_text
+
+FAULT_KINDS = FaultInjector.CRASH_KINDS + FaultInjector.ERROR_KINDS
+
+_LABELS = ("Symptom", "Disease", "Medication", "Procedure", "Test")
+_RELATION_LABELS = ("BEFORE", "OVERLAP", "TREATS")
+_REVIEWERS = ("alice", "bob", "carol")
+
+
+# -- generation --------------------------------------------------------------
+
+
+def _gen_document(rng: Random, doc_id: str) -> dict:
+    """One report: text plus non-overlapping extracted spans."""
+    words = gen_text(rng, 14, 6).split()
+    text = " ".join(words)
+    spans = []
+    cursor = 0
+    for word in words:
+        start = text.index(word, cursor)
+        cursor = start + len(word)
+        if len(spans) < 5 and rng.random() < 0.4:
+            spans.append(
+                [
+                    rng.choice(_LABELS),
+                    start,
+                    cursor,
+                    rng.random() < 0.15,  # negated
+                ]
+            )
+    relations = []
+    if len(spans) >= 2:
+        for _ in range(rng.randint(0, 2)):
+            src = rng.randrange(len(spans))
+            dst = rng.randrange(len(spans))
+            if src != dst:
+                relations.append([src, dst, rng.choice(_RELATION_LABELS)])
+    return {
+        "act": "enroll",
+        "id": doc_id,
+        "text": text,
+        "spans": spans,
+        "relations": relations,
+    }
+
+
+def _gen_decision(rng: Random, action: dict, claim: dict) -> dict:
+    """One semantically valid decide action against a live claim."""
+    verdict = rng.choice(VERDICTS)
+    decision = {
+        "act": "decide",
+        "claim": claim["claim_id"],
+        "reviewer": rng.choice(_REVIEWERS),
+        "verdict": verdict,
+        "label": None,
+        "start": None,
+        "end": None,
+    }
+    if verdict == "edit":
+        correct_label = claim["kind"] == "relation" or rng.random() < 0.6
+        if correct_label:
+            decision["label"] = rng.choice(
+                _RELATION_LABELS if claim["kind"] == "relation" else _LABELS
+            )
+        if claim["kind"] == "mention" and (
+            not correct_label or rng.random() < 0.3
+        ):
+            length = len(action["text"])
+            start = rng.randrange(length)
+            decision["start"] = start
+            decision["end"] = rng.randint(start + 1, length)
+    return decision
+
+
+def gen_review_case(rng: Random) -> dict:
+    """An enroll/decide/drop schedule plus one planned fault.
+
+    Decides only ever target claims of currently-enrolled reports, so
+    the schedule is semantically valid — the fuzzer probes durability,
+    not input validation (the model layer's own tests cover that).
+    """
+    actions: list[dict] = []
+    live: dict[str, dict] = {}  # doc_id -> its enroll action
+    live_claims: list[dict] = []  # {"claim_id", "kind", "doc"}
+    n_docs = 0
+    for _ in range(rng.randint(2, 12)):
+        roll = rng.random()
+        if live_claims and roll < 0.55:
+            claim = rng.choice(live_claims)
+            actions.append(
+                _gen_decision(rng, live[claim["doc"]], claim)
+            )
+        elif live and roll < 0.65:
+            doc_id = rng.choice(sorted(live))
+            del live[doc_id]
+            live_claims = [
+                claim for claim in live_claims if claim["doc"] != doc_id
+            ]
+            actions.append({"act": "drop", "id": doc_id})
+        else:
+            doc_id = f"doc-{n_docs}"
+            n_docs += 1
+            action = _gen_document(rng, doc_id)
+            live[doc_id] = action
+            for k in range(len(action["spans"])):
+                live_claims.append(
+                    {
+                        "claim_id": claim_id_for(doc_id, f"T{k + 1}"),
+                        "kind": "mention",
+                        "doc": doc_id,
+                    }
+                )
+            for k in range(len(action["relations"])):
+                live_claims.append(
+                    {
+                        "claim_id": claim_id_for(doc_id, f"R{k + 1}"),
+                        "kind": "relation",
+                        "doc": doc_id,
+                    }
+                )
+            actions.append(action)
+    fault = None
+    if rng.random() < 0.8:
+        fault = {
+            "kind": rng.choice(FAULT_KINDS),
+            "at_op": rng.randint(0, 30),
+            "seed": rng.randint(0, 2**31),
+        }
+    return {
+        "actions": actions,
+        "fault": fault,
+        "group_commit": rng.choice([1, 1, 2, 3, 4]),
+        "snapshot_every": rng.choice([None, None, 2, 3, 5]),
+    }
+
+
+# -- checking ----------------------------------------------------------------
+
+
+def apply_review_action(queue: ReviewQueue, action: dict) -> None:
+    """Apply one schedule action to a queue (memory only)."""
+    if action["act"] == "enroll":
+        doc = AnnotationDocument(doc_id=action["id"], text=action["text"])
+        for label, start, end, negated in action["spans"]:
+            tb = doc.add_textbound(label, start, end)
+            if negated:
+                doc.add_attribute("Negated", tb.ann_id)
+        for src, dst, label in action["relations"]:
+            doc.add_relation(label, f"T{src + 1}", f"T{dst + 1}")
+        queue.enqueue_document(action["id"], doc)
+    elif action["act"] == "decide":
+        queue.decide(
+            action["claim"],
+            reviewer=action["reviewer"],
+            verdict=action["verdict"],
+            label=action["label"],
+            start=action["start"],
+            end=action["end"],
+        )
+    else:  # drop
+        queue.drop_document(action["id"])
+
+
+def canonical_review_state(queue: ReviewQueue) -> str:
+    """Identity-free canonical rendering of the full review state,
+    including the queued/decided partition."""
+    payload = {
+        "docs": sorted(
+            [doc_id, queue.document_text(doc_id)]
+            for doc_id in queue.documents()
+        ),
+        "claims": sorted(
+            json.dumps(claim.to_json(), sort_keys=True)
+            for doc_id in queue.documents()
+            for claim in queue.claims_of(doc_id)
+        ),
+        "decisions": sorted(
+            [
+                claim.claim_id,
+                [
+                    json.dumps(d.to_json(), sort_keys=True)
+                    for d in queue.decisions_of(claim.claim_id)
+                ],
+            ]
+            for doc_id in queue.documents()
+            for claim in queue.claims_of(doc_id)
+        ),
+        "partition": review_partition(queue),
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def review_partition(queue: ReviewQueue) -> dict:
+    """The queued/decided claim-id partition."""
+    return {
+        "queued": sorted(claim.claim_id for claim in queue.queued()),
+        "decided": sorted(claim.claim_id for claim in queue.decided()),
+    }
+
+
+def _valid_case(case: dict) -> bool:
+    """Structural validation; shrunk cases may violate any of this."""
+    if not isinstance(case, dict):
+        return False
+    group_commit = case.get("group_commit")
+    if not isinstance(group_commit, int) or group_commit < 1:
+        return False
+    snapshot_every = case.get("snapshot_every")
+    if snapshot_every is not None and (
+        not isinstance(snapshot_every, int) or snapshot_every < 1
+    ):
+        return False
+    actions = case.get("actions")
+    if not isinstance(actions, list):
+        return False
+    live: dict[str, dict] = {}
+    claims: dict[str, str] = {}  # claim_id -> kind
+    for action in actions:
+        if not isinstance(action, dict):
+            return False
+        kind = action.get("act")
+        if kind == "enroll":
+            doc_id = action.get("id")
+            text = action.get("text")
+            if not isinstance(doc_id, str) or doc_id in live:
+                return False
+            if not isinstance(text, str):
+                return False
+            spans = action.get("spans")
+            if not isinstance(spans, list):
+                return False
+            previous_end = -1
+            for span in spans:
+                if not (
+                    isinstance(span, list)
+                    and len(span) == 4
+                    and isinstance(span[0], str)
+                    and isinstance(span[1], int)
+                    and isinstance(span[2], int)
+                    and isinstance(span[3], bool)
+                    and previous_end <= span[1] < span[2] <= len(text)
+                ):
+                    return False
+                previous_end = span[2]
+            relations = action.get("relations")
+            if not isinstance(relations, list):
+                return False
+            for relation in relations:
+                if not (
+                    isinstance(relation, list)
+                    and len(relation) == 3
+                    and isinstance(relation[0], int)
+                    and isinstance(relation[1], int)
+                    and isinstance(relation[2], str)
+                    and 0 <= relation[0] < len(spans)
+                    and 0 <= relation[1] < len(spans)
+                    and relation[0] != relation[1]
+                ):
+                    return False
+            live[doc_id] = action
+            for k in range(len(spans)):
+                claims[claim_id_for(doc_id, f"T{k + 1}")] = "mention"
+            for k in range(len(relations)):
+                claims[claim_id_for(doc_id, f"R{k + 1}")] = "relation"
+        elif kind == "decide":
+            claim_id = action.get("claim")
+            if claim_id not in claims:
+                return False
+            doc_id = claim_id.split(":", 1)[0]
+            if doc_id not in live:
+                return False
+            if action.get("verdict") not in VERDICTS:
+                return False
+            reviewer = action.get("reviewer")
+            if not isinstance(reviewer, str) or not reviewer:
+                return False
+            label = action.get("label")
+            start = action.get("start")
+            end = action.get("end")
+            if action["verdict"] != "edit":
+                if label is not None or start is not None or end is not None:
+                    return False
+            else:
+                if label is None and start is None:
+                    return False
+                if label is not None and not isinstance(label, str):
+                    return False
+                if (start is None) != (end is None):
+                    return False
+                if start is not None:
+                    if claims[claim_id] != "mention":
+                        return False
+                    text = live[doc_id]["text"]
+                    if not (
+                        isinstance(start, int)
+                        and isinstance(end, int)
+                        and 0 <= start < end <= len(text)
+                    ):
+                        return False
+        elif kind == "drop":
+            doc_id = action.get("id")
+            if doc_id not in live:
+                return False
+            del live[doc_id]
+            claims = {
+                claim_id: claim_kind
+                for claim_id, claim_kind in claims.items()
+                if claim_id.split(":", 1)[0] != doc_id
+            }
+        else:
+            return False
+    fault = case.get("fault")
+    if fault is not None:
+        if not isinstance(fault, dict):
+            return False
+        if fault.get("kind") not in FAULT_KINDS:
+            return False
+        if not isinstance(fault.get("at_op"), int) or fault["at_op"] < 0:
+            return False
+        if not isinstance(fault.get("seed"), int):
+            return False
+    return True
+
+
+def _oracle_states(actions: list[dict]) -> list[str]:
+    """``states[j]`` = canonical state after the first ``j`` actions,
+    computed on a plain queue with no durability at all."""
+    queue = ReviewQueue()
+    states = [canonical_review_state(queue)]
+    for action in actions:
+        apply_review_action(queue, action)
+        states.append(canonical_review_state(queue))
+    return states
+
+
+def check_review_case(case: dict) -> str | None:
+    """Run one decision schedule end to end; ``None`` means the review
+    durability contract held (or the case was malformed — vacuous)."""
+    if not _valid_case(case):
+        return None
+    actions = case["actions"]
+    fault = case["fault"]
+    oracle = _oracle_states(actions)
+
+    oracle_queue = ReviewQueue()
+    for action in actions:
+        apply_review_action(oracle_queue, action)
+    oracle_partition = review_partition(oracle_queue)
+
+    mem = MemFS()
+    if fault is not None:
+        fs = FaultInjector(
+            mem,
+            kind=fault["kind"],
+            at_op=fault["at_op"],
+            seed=fault["seed"],
+        )
+    else:
+        fs = mem
+    queue = ReviewQueue()
+    manager = DurabilityManager(
+        fs,
+        group_commit=case["group_commit"],
+        snapshot_every=case["snapshot_every"],
+    )
+    manager.attach("review", queue)
+
+    applied = 0
+    action_lsns: list[int | None] = []
+    crashed = False
+    try:
+        for action in actions:
+            apply_review_action(queue, action)
+            applied += 1
+            action_lsns.append(manager.commit())
+        manager.flush()
+    except (InjectedCrash, DurabilityError, OSError):
+        crashed = True
+
+    # Acknowledged prefix: every decision (or enroll/drop) in it was
+    # fsynced before the fault — losing any of these is a bug.
+    acked = 0
+    for lsn in action_lsns:
+        if lsn is not None and lsn > manager.durable_lsn:
+            break
+        acked += 1
+
+    recovered_queue = ReviewQueue()
+    recovery = DurabilityManager(
+        mem, group_commit=1, snapshot_every=case["snapshot_every"]
+    )
+    recovery.attach("review", recovered_queue)
+    try:
+        recovery.recover()
+    except DurabilityError as exc:
+        # Includes the double-commit detector: durable_apply raises on
+        # a re-applied enqueue.
+        return (
+            f"recovery failed after "
+            f"{'crash' if crashed else 'clean run'}: {exc}"
+        )
+    recovered = canonical_review_state(recovered_queue)
+
+    matched = [j for j in range(applied + 1) if oracle[j] == recovered]
+    if not matched:
+        return (
+            f"recovered review state matches no schedule prefix "
+            f"(crashed={crashed}, applied={applied}, acked={acked})"
+        )
+    resume_from = max(matched)
+    if resume_from < acked:
+        return (
+            f"acked decisions lost: recovered to prefix {resume_from} "
+            f"but {acked} actions were acknowledged "
+            f"(durable_lsn={manager.durable_lsn})"
+        )
+
+    # Continuation: finish the schedule, then the partition (and the
+    # whole state) must be bit-identical to the never-crashed oracle.
+    for action in actions[resume_from:]:
+        apply_review_action(recovered_queue, action)
+        recovery.commit()
+    recovery.flush()
+    if review_partition(recovered_queue) != oracle_partition:
+        return (
+            f"queued/decided partition diverged after recovery from "
+            f"prefix {resume_from}: {review_partition(recovered_queue)} "
+            f"vs oracle {oracle_partition}"
+        )
+    if canonical_review_state(recovered_queue) != oracle[-1]:
+        return (
+            f"continuation after recovery from prefix {resume_from} "
+            "diverged from the oracle's final state"
+        )
+
+    if not crashed:
+        live = canonical_review_state(queue)
+        if live != oracle[-1]:
+            return "fault-free live state diverged from the oracle"
+        if recovered != oracle[-1]:
+            return (
+                "fault-free recovery (snapshot + WAL replay) diverged "
+                "from the in-memory state"
+            )
+        if acked != len(actions):
+            return (
+                f"fault-free run acknowledged only {acked} of "
+                f"{len(actions)} actions"
+            )
+    return None

@@ -5,11 +5,15 @@ publication metadata, the narrative with entity spans wrapped in
 type-colored marks (the BRAT-style display of Figure 4, with negated
 mentions struck through), and the relation list.  Valid XHTML so it
 can be parsed and asserted on in tests.
+
+Attribute values go through :func:`xml.sax.saxutils.quoteattr`, which
+— unlike ``escape`` — also escapes the quote character itself, so a
+label containing ``"`` still yields parseable markup.
 """
 
 from __future__ import annotations
 
-from xml.sax.saxutils import escape
+from xml.sax.saxutils import escape, quoteattr
 
 from repro.annotation.model import AnnotationDocument
 from repro.viz.svg import _DEFAULT_TYPE_COLORS, _FALLBACK_COLOR
@@ -26,6 +30,46 @@ td, th { border: 1px solid #ccc; padding: 2px 8px; font-size: 0.85em; }
 """
 
 
+def marked_narrative(
+    doc: AnnotationDocument,
+    anchor_ids: dict[str, str] | None = None,
+) -> str:
+    """The narrative text with entity spans wrapped in ``<mark>`` tags.
+
+    Overlapping spans keep the first; negated mentions get
+    ``class="negated"`` (and non-negated ones get *no* class
+    attribute).  ``anchor_ids`` maps a textbound's ann_id to an ``id``
+    attribute for that mark — the review evidence view uses this to
+    give every claim a same-page anchor target.
+    """
+    negated_ids = {
+        attribute.target
+        for attribute in doc.attributes.values()
+        if attribute.label == "Negated"
+    }
+    parts: list[str] = []
+    cursor = 0
+    for tb in doc.spans_sorted():
+        if tb.start < cursor:
+            continue
+        parts.append(escape(doc.text[cursor : tb.start]))
+        color = _DEFAULT_TYPE_COLORS.get(tb.label, _FALLBACK_COLOR)
+        attrs = ""
+        anchor = (anchor_ids or {}).get(tb.ann_id)
+        if anchor is not None:
+            attrs += f" id={quoteattr(anchor)}"
+        if tb.ann_id in negated_ids:
+            attrs += ' class="negated"'
+        parts.append(
+            f'<mark{attrs} style="background:{color}66" '
+            f"title={quoteattr(tb.label)}>{escape(tb.text)}"
+            f'<span class="type-tag">{escape(tb.label)}</span></mark>'
+        )
+        cursor = tb.end
+    parts.append(escape(doc.text[cursor:]))
+    return "".join(parts)
+
+
 def render_report_html(
     doc: AnnotationDocument,
     title: str = "",
@@ -38,30 +82,7 @@ def render_report_html(
         title: publication title for the header.
         metadata: optional extra header fields (authors, journal, ...).
     """
-    spans = doc.spans_sorted()
-    negated_ids = {
-        attribute.target
-        for attribute in doc.attributes.values()
-        if attribute.label == "Negated"
-    }
-
-    # Build the marked-up narrative; overlapping spans keep the first.
-    parts: list[str] = []
-    cursor = 0
-    for tb in spans:
-        if tb.start < cursor:
-            continue
-        parts.append(escape(doc.text[cursor : tb.start]))
-        color = _DEFAULT_TYPE_COLORS.get(tb.label, _FALLBACK_COLOR)
-        classes = "negated" if tb.ann_id in negated_ids else ""
-        parts.append(
-            f'<mark class="{classes}" style="background:{color}66" '
-            f'title="{escape(tb.label)}">{escape(tb.text)}'
-            f'<span class="type-tag">{escape(tb.label)}</span></mark>'
-        )
-        cursor = tb.end
-    parts.append(escape(doc.text[cursor:]))
-    narrative = "".join(parts)
+    narrative = marked_narrative(doc)
 
     meta_rows = []
     for key, value in (metadata or {}).items():

@@ -136,3 +136,53 @@ class TestStats:
         assert response.ok
         assert response.body["n_reports"] > 0
         assert response.body["graph_nodes"] > 0
+
+
+class TestIntParamValidation:
+    """Every paginated route must 400 (with a JSON error body) on
+    non-integer or negative skip/limit/size — never 500, never accept.
+
+    Regression for the bare ``int(params.get(...))`` calls that used to
+    raise an uncaught ValueError on ``GET /reports?skip=abc``.
+    """
+
+    @pytest.fixture(scope="class")
+    def cohort_app(self, app):
+        app.handle(
+            "POST",
+            "/cohorts",
+            body={"name": "pv-check", "inclusion": [], "exclusion": []},
+        )
+        yield app
+        app.handle("DELETE", "/cohorts/pv-check")
+
+    # (method, path, param names subject to integer validation)
+    PAGINATED_ROUTES = [
+        ("GET", "/reports", {}, ["skip", "limit"]),
+        ("GET", "/search", {"q": "fever"}, ["size"]),
+        ("GET", "/suggest", {"q": "fe"}, ["size"]),
+        ("POST", "/cohorts/pv-check/evaluate", {}, ["skip", "limit"]),
+        ("GET", "/review/queue", {}, ["skip", "limit"]),
+    ]
+
+    @pytest.mark.parametrize("bad", ["abc", "-1", "1.5", ""])
+    def test_bad_values_return_400(self, cohort_app, bad):
+        for method, path, base_params, names in self.PAGINATED_ROUTES:
+            for name in names:
+                response = cohort_app.handle(
+                    method, path, params={**base_params, name: bad}
+                )
+                assert response.status == 400, (path, name, bad)
+                assert isinstance(response.body, dict), (path, name, bad)
+                assert name in response.body["error"], (path, name, bad)
+
+    def test_good_values_still_work(self, cohort_app):
+        for method, path, base_params, names in self.PAGINATED_ROUTES:
+            params = {**base_params, **{name: "1" for name in names}}
+            response = cohort_app.handle(method, path, params=params)
+            assert response.ok, (path, response.body)
+
+    def test_defaults_unaffected(self, cohort_app):
+        for method, path, base_params, _names in self.PAGINATED_ROUTES:
+            response = cohort_app.handle(method, path, params=base_params)
+            assert response.ok, (path, response.body)

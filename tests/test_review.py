@@ -1,0 +1,595 @@
+"""Tests for the evidence-grounded review service (`repro.review`)."""
+
+import json
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.annotation.model import AnnotationDocument
+from repro.api.app import CreateApplication
+from repro.docstore.store import DocumentStore
+from repro.durability import DurabilityManager, MemFS
+from repro.exceptions import ReviewError
+from repro.ir.indexer import CreateIrIndexer
+from repro.ir.searcher import CreateIrSearcher
+from repro.review import (
+    Claim,
+    Decision,
+    ReviewQueue,
+    claim_id_for,
+    render_review_html,
+)
+
+
+def _doc(doc_id, text, spans, relations=(), negated=()):
+    """Build an annotation document from (label, word) span specs."""
+    doc = AnnotationDocument(doc_id=doc_id, text=text)
+    ids = []
+    for label, word in spans:
+        start = text.index(word)
+        tb = doc.add_textbound(label, start, start + len(word))
+        ids.append(tb.ann_id)
+        if word in negated:
+            doc.add_attribute("Negated", tb.ann_id)
+    for src, dst, label in relations:
+        doc.add_relation(label, ids[src], ids[dst])
+    return doc
+
+
+@pytest.fixture()
+def queue():
+    queue = ReviewQueue()
+    doc = _doc(
+        "r1",
+        "patient denied fever but reported chest pain after admission",
+        [("Symptom", "fever"), ("Symptom", "chest pain")],
+        relations=[(0, 1, "BEFORE")],
+        negated=("fever",),
+    )
+    queue.enqueue_document("r1", doc)
+    return queue
+
+
+class TestClaimModel:
+    def test_claim_id_format(self):
+        assert claim_id_for("doc-1", "T3") == "doc-1:T3"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ReviewError):
+            Claim("d:T1", "d", "T1", "blob", "Symptom", "x", 0, 1)
+
+    def test_rejects_inverted_span(self):
+        with pytest.raises(ReviewError):
+            Claim("d:T1", "d", "T1", "mention", "Symptom", "x", 5, 5)
+
+    def test_json_roundtrip(self):
+        claim = Claim("d:R1", "d", "R1", "relation", "BEFORE",
+                      "a -BEFORE-> b", 0, 9, source="T1", target="T2")
+        assert Claim.from_json(claim.to_json()) == claim
+
+    def test_malformed_payload(self):
+        with pytest.raises(ReviewError):
+            Claim.from_json({"claim_id": "x"})
+
+    def test_decision_verdict_validation(self):
+        with pytest.raises(ReviewError):
+            Decision("d:T1", "alice", "maybe")
+
+    def test_decision_requires_reviewer(self):
+        with pytest.raises(ReviewError):
+            Decision("d:T1", "", "accept")
+
+    def test_accept_carries_no_corrections(self):
+        with pytest.raises(ReviewError):
+            Decision("d:T1", "alice", "accept", label="Symptom")
+
+    def test_edit_requires_a_correction(self):
+        with pytest.raises(ReviewError):
+            Decision("d:T1", "alice", "edit")
+
+    def test_offsets_come_in_pairs(self):
+        with pytest.raises(ReviewError):
+            Decision("d:T1", "alice", "edit", start=3)
+
+    def test_decision_json_roundtrip(self):
+        decision = Decision("d:T1", "alice", "edit", start=3, end=9)
+        assert Decision.from_json(decision.to_json()) == decision
+
+
+class TestReviewQueue:
+    def test_enqueue_produces_claims(self, queue):
+        claims = queue.claims_of("r1")
+        assert [c.claim_id for c in claims] == ["r1:T1", "r1:T2", "r1:R1"]
+        mention = claims[0]
+        assert mention.kind == "mention"
+        assert mention.value == "fever"
+        assert mention.negated
+        relation = claims[2]
+        assert relation.kind == "relation"
+        assert relation.source == "T1" and relation.target == "T2"
+        # Envelope of both endpoint spans.
+        assert relation.start == claims[0].start
+        assert relation.end == claims[1].end
+
+    def test_duplicate_enroll_rejected(self, queue):
+        with pytest.raises(ReviewError):
+            queue.enqueue_document(
+                "r1", AnnotationDocument(doc_id="r1", text="x y")
+            )
+
+    def test_decide_moves_claim_out_of_queue(self, queue):
+        assert queue.is_queued("r1:T1")
+        queue.decide("r1:T1", "alice", "accept")
+        assert not queue.is_queued("r1:T1")
+        assert [c.claim_id for c in queue.queued()] == ["r1:T2", "r1:R1"]
+        assert [c.claim_id for c in queue.decided()] == ["r1:T1"]
+
+    def test_unknown_claim(self, queue):
+        with pytest.raises(ReviewError):
+            queue.decide("r1:T99", "alice", "accept")
+
+    def test_redecide_replaces_same_reviewer(self, queue):
+        queue.decide("r1:T1", "alice", "accept")
+        queue.decide("r1:T1", "alice", "reject")
+        decisions = queue.decisions_of("r1:T1")
+        assert len(decisions) == 1
+        assert decisions[0].verdict == "reject"
+
+    def test_second_reviewer_appends(self, queue):
+        queue.decide("r1:T1", "alice", "accept")
+        queue.decide("r1:T1", "bob", "reject")
+        assert len(queue.decisions_of("r1:T1")) == 2
+        assert queue.effective_decision("r1:T1").reviewer == "bob"
+
+    def test_edit_offsets_bounded_by_text(self, queue):
+        with pytest.raises(ReviewError):
+            queue.decide("r1:T1", "alice", "edit", start=0, end=10_000)
+
+    def test_relation_edit_is_label_only(self, queue):
+        with pytest.raises(ReviewError):
+            queue.decide("r1:R1", "alice", "edit", start=0, end=5)
+        decision = queue.decide("r1:R1", "alice", "edit", label="OVERLAP")
+        assert decision.label == "OVERLAP"
+
+    def test_drop_removes_claims_and_decisions(self, queue):
+        queue.decide("r1:T1", "alice", "accept")
+        assert queue.drop_document("r1") == 3
+        assert queue.claims_of("r1") == []
+        assert queue.decisions_of("r1:T1") == []
+        assert queue.drop_document("r1") == 0
+
+    def test_stats(self, queue):
+        queue.decide("r1:T1", "alice", "accept")
+        queue.decide("r1:T1", "bob", "reject")
+        queue.decide("r1:T2", "alice", "edit", label="Disease")
+        stats = queue.stats()
+        assert stats["documents"] == 1
+        assert stats["claims"] == 3
+        assert stats["queue_depth"] == 1
+        assert stats["decided"] == 2
+        assert stats["double_reviewed"] == 1
+        assert stats["reviewers"] == {"alice": 2, "bob": 1}
+        # Effective (latest) verdicts: T1 reject, T2 edit.
+        assert stats["by_verdict"] == {"accept": 0, "edit": 1, "reject": 1}
+
+
+class TestCorrections:
+    def test_corrected_document_semantics(self, queue):
+        queue.decide("r1:T1", "alice", "accept")
+        queue.decide("r1:T2", "alice", "edit", label="Finding")
+        queue.decide("r1:R1", "alice", "accept")
+        doc = queue.corrected_document("r1")
+        labels = {tb.ann_id: tb.label for tb in doc.spans_sorted()}
+        assert labels == {"T1": "Symptom", "T2": "Finding"}
+        assert doc.is_negated("T1")  # negation flag survives accept
+        assert len(doc.relations) == 1
+
+    def test_rejected_claims_drop_out(self, queue):
+        queue.decide("r1:T1", "alice", "reject")
+        queue.decide("r1:T2", "alice", "accept")
+        queue.decide("r1:R1", "alice", "accept")
+        doc = queue.corrected_document("r1")
+        assert [tb.ann_id for tb in doc.spans_sorted()] == ["T2"]
+        # The relation lost an endpoint, so it drops too.
+        assert doc.relations == {}
+
+    def test_queued_claims_are_not_gold(self, queue):
+        queue.decide("r1:T1", "alice", "accept")
+        doc = queue.corrected_document("r1")
+        assert [tb.ann_id for tb in doc.spans_sorted()] == ["T1"]
+
+    def test_unenrolled_document(self, queue):
+        with pytest.raises(ReviewError):
+            queue.corrected_document("zzz")
+
+    def test_accepted_corrections_bio_output(self, queue):
+        queue.decide("r1:T2", "alice", "edit", label="Finding")
+        examples = queue.accepted_corrections()
+        assert len(examples) == 1
+        example = examples[0]
+        assert example.doc_id == "r1"
+        assert len(example.tokens) == len(example.labels)
+        assert "B-Finding" in example.labels
+        assert "I-Finding" in example.labels  # "chest pain" spans 2 tokens
+
+    def test_only_verified_documents_export(self, queue):
+        assert queue.accepted_corrections() == []
+        queue.decide("r1:T1", "alice", "reject")
+        assert queue.accepted_corrections() == []
+
+
+class TestAgreement:
+    def test_no_double_reviews(self, queue):
+        queue.decide("r1:T1", "alice", "accept")
+        assert queue.pair_agreement() is None
+
+    def test_pair_agreement(self, queue):
+        for claim_id in ("r1:T1", "r1:T2"):
+            queue.decide(claim_id, "alice", "accept")
+        queue.decide("r1:T1", "bob", "accept")
+        queue.decide("r1:T2", "bob", "reject")
+        pair = queue.pair_agreement()
+        assert (pair.reviewer_a, pair.reviewer_b) == ("alice", "bob")
+        assert pair.n_claims == 2
+        assert pair.report.n_documents == 1
+        # They agree on T1, disagree on T2.
+        assert 0.0 < pair.report.span_f1.f1 < 1.0
+        assert pair.verdict_kappa < 1.0
+
+    def test_perfect_agreement(self, queue):
+        for reviewer in ("alice", "bob"):
+            for claim_id in ("r1:T1", "r1:T2", "r1:R1"):
+                queue.decide(claim_id, reviewer, "accept")
+        pair = queue.pair_agreement()
+        assert pair.verdict_kappa == 1.0
+        assert pair.report.span_f1.f1 == 1.0
+        assert pair.report.relation_f1.f1 == 1.0
+
+
+class TestReviewDurability:
+    def _enrolled_queue_manager(self, fs):
+        queue = ReviewQueue()
+        manager = DurabilityManager(fs)
+        manager.attach("review", queue)
+        doc = _doc(
+            "r1",
+            "patient denied fever but reported chest pain",
+            [("Symptom", "fever"), ("Symptom", "chest pain")],
+            negated=("fever",),
+        )
+        queue.enqueue_document("r1", doc)
+        manager.commit()
+        return queue, manager
+
+    def test_decision_survives_replay(self):
+        fs = MemFS()
+        queue, manager = self._enrolled_queue_manager(fs)
+        queue.decide("r1:T1", "alice", "edit", label="Finding")
+        manager.commit()
+        manager.flush()
+
+        recovered = ReviewQueue()
+        recovery = DurabilityManager(fs)
+        recovery.attach("review", recovered)
+        recovery.recover()
+        assert recovered.effective_decision("r1:T1").label == "Finding"
+        assert [c.claim_id for c in recovered.queued()] == ["r1:T2"]
+        assert recovered.document_text("r1") == queue.document_text("r1")
+
+    def test_zero_claim_drop_is_journaled(self):
+        # Regression: dropping a report with no claims must still write
+        # a WAL op, or replay resurrects the enrollment.
+        fs = MemFS()
+        queue = ReviewQueue()
+        manager = DurabilityManager(fs)
+        manager.attach("review", queue)
+        queue.enqueue_document(
+            "empty", AnnotationDocument(doc_id="empty", text="nothing here")
+        )
+        manager.commit()
+        queue.drop_document("empty")
+        manager.commit()
+        manager.flush()
+
+        recovered = ReviewQueue()
+        recovery = DurabilityManager(fs)
+        recovery.attach("review", recovered)
+        recovery.recover()
+        assert recovered.documents() == []
+
+    def test_double_applied_enqueue_raises(self):
+        queue = ReviewQueue()
+        op = {
+            "op": "enqueue",
+            "doc": "r1",
+            "text": "fever",
+            "claims": [],
+        }
+        queue.durable_apply(dict(op))
+        with pytest.raises(ReviewError):
+            queue.durable_apply(dict(op))
+
+    def test_snapshot_roundtrip(self, queue):
+        queue.decide("r1:T1", "alice", "accept")
+        state = queue.durable_snapshot()
+        # Snapshots must be JSON-serializable for the WAL.
+        state = json.loads(json.dumps(state))
+        restored = ReviewQueue()
+        restored.durable_restore(state)
+        assert restored.durable_snapshot() == queue.durable_snapshot()
+
+    def test_unknown_journal_op(self):
+        with pytest.raises(ReviewError):
+            ReviewQueue().durable_apply({"op": "mystery"})
+
+
+@pytest.fixture()
+def review_app():
+    indexer = CreateIrIndexer()
+    app = CreateApplication(
+        store=DocumentStore(),
+        indexer=indexer,
+        searcher=CreateIrSearcher(indexer),
+    )
+    doc = _doc(
+        "r1",
+        "patient denied fever but reported chest pain after admission",
+        [("Symptom", "fever"), ("Symptom", "chest pain")],
+        relations=[(0, 1, "BEFORE")],
+        negated=("fever",),
+    )
+    app.register_report(
+        {"_id": "r1", "title": "case one", "text": doc.text}, doc
+    )
+    return app
+
+
+class TestReviewApi:
+    def test_register_enrolls_claims(self, review_app):
+        response = review_app.handle("GET", "/review/queue")
+        assert response.ok
+        assert response.body["total"] == 3
+        assert [c["claim_id"] for c in response.body["claims"]] == [
+            "r1:T1", "r1:T2", "r1:R1",
+        ]
+
+    def test_queue_pagination(self, review_app):
+        response = review_app.handle(
+            "GET", "/review/queue", params={"skip": 1, "limit": 1}
+        )
+        assert response.ok
+        assert response.body["total"] == 3
+        assert [c["claim_id"] for c in response.body["claims"]] == ["r1:T2"]
+
+    def test_claim_detail(self, review_app):
+        response = review_app.handle("GET", "/review/claims/r1:T1")
+        assert response.ok
+        assert response.body["status"] == "queued"
+        assert response.body["claim"]["value"] == "fever"
+        assert review_app.handle("GET", "/review/claims/zzz").status == 404
+
+    def test_decision_flow(self, review_app):
+        response = review_app.handle(
+            "POST",
+            "/review/claims/r1:T1/decision",
+            body={"reviewer": "alice", "verdict": "accept"},
+        )
+        assert response.status == 201
+        assert response.body["queue_depth"] == 2
+        detail = review_app.handle("GET", "/review/claims/r1:T1")
+        assert detail.body["status"] == "decided"
+        assert detail.body["decisions"][0]["reviewer"] == "alice"
+
+    def test_decision_validation(self, review_app):
+        bad = [
+            ({"reviewer": "a", "verdict": "maybe"}, 400),
+            ({"reviewer": "", "verdict": "accept"}, 400),
+            ({"reviewer": "a", "verdict": "edit"}, 400),
+            ({"reviewer": "a", "verdict": "edit", "start": "x", "end": 3}, 400),
+            ("not a dict", 400),
+        ]
+        for body, status in bad:
+            response = review_app.handle(
+                "POST", "/review/claims/r1:T2/decision", body=body
+            )
+            assert response.status == status, body
+            assert "error" in response.body
+        missing = review_app.handle(
+            "POST",
+            "/review/claims/zzz/decision",
+            body={"reviewer": "a", "verdict": "accept"},
+        )
+        assert missing.status == 404
+
+    def test_evidence_view(self, review_app):
+        response = review_app.handle("GET", "/review/reports/r1")
+        assert response.ok
+        body = response.body.split("?>", 1)[1]
+        root = ElementTree.fromstring(body)
+        ns = "{http://www.w3.org/1999/xhtml}"
+        mark_ids = {
+            mark.get("id") for mark in root.iter(f"{ns}mark")
+        }
+        assert {"claim-T1", "claim-T2"} <= mark_ids
+        row_ids = {tr.get("id") for tr in root.iter(f"{ns}tr")}
+        assert {"decision-T1", "decision-T2", "decision-R1"} <= row_ids
+        assert review_app.handle("GET", "/review/reports/zzz").status == 404
+
+    def test_evidence_view_shows_verdicts(self, review_app):
+        review_app.handle(
+            "POST",
+            "/review/claims/r1:T1/decision",
+            body={"reviewer": "alice", "verdict": "reject"},
+        )
+        html = review_app.handle("GET", "/review/reports/r1").body
+        assert "reject · alice" in html
+
+    def test_agreement_endpoint(self, review_app):
+        assert review_app.handle("GET", "/review/agreement").body == {
+            "doubly_reviewed": 0
+        }
+        for reviewer in ("alice", "bob"):
+            for claim in ("r1:T1", "r1:T2"):
+                review_app.handle(
+                    "POST",
+                    f"/review/claims/{claim}/decision",
+                    body={"reviewer": reviewer, "verdict": "accept"},
+                )
+        response = review_app.handle("GET", "/review/agreement")
+        assert response.ok
+        assert response.body["doubly_reviewed"] == 2
+        assert response.body["verdict_kappa"] == 1.0
+        assert response.body["span_f1"] == 1.0
+
+    def test_stats_review_section(self, review_app):
+        review_app.handle(
+            "POST",
+            "/review/claims/r1:T1/decision",
+            body={"reviewer": "alice", "verdict": "accept"},
+        )
+        stats = review_app.handle("GET", "/stats").body["review"]
+        assert stats["queue_depth"] == 2
+        assert stats["reviewers"] == {"alice": 1}
+
+    def test_put_ann_reenrolls(self, review_app):
+        review_app.handle(
+            "POST",
+            "/review/claims/r1:T1/decision",
+            body={"reviewer": "alice", "verdict": "accept"},
+        )
+        ann = "T1\tDisease_disorder 15 20\tfever\n"
+        response = review_app.handle("PUT", "/reports/r1/ann", body=ann)
+        assert response.ok
+        queue = review_app.handle("GET", "/review/queue").body
+        assert [c["claim_id"] for c in queue["claims"]] == ["r1:T1"]
+        assert queue["claims"][0]["label"] == "Disease_disorder"
+        # Old decisions do not survive re-annotation.
+        assert review_app.review.decisions_of("r1:T1") == []
+
+    def test_delete_report_drops_claims(self, review_app):
+        response = review_app.handle("DELETE", "/reports/r1")
+        assert response.ok
+        assert review_app.handle("GET", "/review/queue").body["total"] == 0
+        assert review_app.handle("GET", "/review/reports/r1").status == 404
+
+
+class TestRetrainLoop:
+    """The extract -> review -> retrain loop, end to end: accepted
+    edits become CRF training data that changes a held-out prediction."""
+
+    def test_accepted_corrections_change_held_out_prediction(self):
+        from repro.ner.tagger import NerTagger
+
+        base = [
+            _doc("b1", "patient took zyprexa daily for fever",
+                 [("Symptom", "zyprexa"), ("Symptom", "fever")]),
+            _doc("b2", "zyprexa was given after chest pain",
+                 [("Symptom", "zyprexa")]),
+        ]
+        held_out = AnnotationDocument(
+            doc_id="h", text="the doctor prescribed zyprexa today"
+        )
+        before = (
+            NerTagger(decoder="crf", epochs=3, seed=5)
+            .fit(base)
+            .predict_document(held_out)
+        )
+        # The base tagger mislabels the drug the way its training data
+        # does.
+        assert ("Symptom" in {label for _, _, label in before})
+
+        queue = ReviewQueue()
+        review_docs = [
+            _doc("r1", "nurse administered zyprexa at night",
+                 [("Symptom", "zyprexa")]),
+            _doc("r2", "zyprexa dose was reduced on admission",
+                 [("Symptom", "zyprexa")]),
+            _doc("r3", "he continued zyprexa without incident",
+                 [("Symptom", "zyprexa")]),
+            _doc("r4", "clinicians started zyprexa for agitation",
+                 [("Symptom", "zyprexa")]),
+        ]
+        for doc in review_docs:
+            for claim in queue.enqueue_document(doc.doc_id, doc):
+                queue.decide(
+                    claim.claim_id, "alice", "edit", label="Medication"
+                )
+        examples = queue.accepted_corrections()
+        assert len(examples) == 4
+        retrained = NerTagger(decoder="crf", epochs=3, seed=5).fit(
+            base + [example.document for example in examples]
+        )
+        after = retrained.predict_document(held_out)
+        assert after != before
+        assert ("Medication" in {label for _, _, label in after})
+
+
+class TestReviewHtmlRendering:
+    def test_quotes_in_labels_stay_parseable(self):
+        queue = ReviewQueue()
+        doc = AnnotationDocument(
+            doc_id="q", text='the "quoted" fever persisted'
+        )
+        doc.add_textbound('Sym"ptom', 13, 18)
+        queue.enqueue_document("q", doc)
+        html = render_review_html(queue, "q")
+        ElementTree.fromstring(html.split("?>", 1)[1])
+
+    def test_unenrolled_report(self):
+        with pytest.raises(ReviewError):
+            render_review_html(ReviewQueue(), "zzz")
+
+
+class TestReviewFuzz:
+    def test_smoke_batch_passes(self):
+        from repro.testing import run
+
+        report = run(subsystems=["review"], cases=40, seed=3)
+        assert report.ok, report.failures
+        assert report.counts["review"] == 40
+
+    def test_registered_in_harness(self):
+        from repro.testing import CHECKERS, GENERATORS, SUBSYSTEMS
+
+        assert "review" in SUBSYSTEMS
+        assert "review" in GENERATORS and "review" in CHECKERS
+
+    def test_cases_are_json_serializable_and_valid(self):
+        from repro.testing import generate_case
+        from repro.testing.review import _valid_case
+
+        for index in range(25):
+            case = generate_case("review", 11, index)
+            assert case == json.loads(json.dumps(case))
+            assert _valid_case(case), case
+
+    def test_generation_is_deterministic(self):
+        from repro.testing import generate_case
+
+        assert generate_case("review", 5, 9) == generate_case("review", 5, 9)
+
+    def test_checker_catches_lost_decision(self):
+        # A checker that cannot fail checks nothing: feed it a queue
+        # implementation whose recovery forgets decisions.
+        from repro.testing import generate_case
+        from repro.testing.review import check_review_case
+        from repro.review import queue as queue_module
+
+        original = queue_module.ReviewQueue.durable_apply
+
+        def lossy(self, op):
+            if op.get("op") == "decide":
+                return  # drop every replayed decision
+            original(self, op)
+
+        queue_module.ReviewQueue.durable_apply = lossy
+        try:
+            messages = []
+            for index in range(60):
+                case = generate_case("review", 2, index)
+                message = check_review_case(case)
+                if message:
+                    messages.append(message)
+            assert messages, "lossy recovery passed 60 cases undetected"
+        finally:
+            queue_module.ReviewQueue.durable_apply = original

@@ -114,6 +114,39 @@ class TestReportHtml:
         body = html.split("?>", 1)[1]
         ElementTree.fromstring(body)  # must stay well-formed
 
+    def test_quote_in_label_stays_parseable(self):
+        # Regression: escape() does not touch '"', so a label with a
+        # double quote inside the title="..." attribute used to produce
+        # invalid XHTML.  Attribute values now go through quoteattr().
+        from repro.annotation.model import AnnotationDocument
+
+        doc = AnnotationDocument(
+            doc_id="d", text='the "quoted" fever & <tag> end'
+        )
+        doc.add_textbound('Sym"pt&om<x>', 13, 18)
+        html = render_report_html(doc, title='A "quoted" <title> & more')
+        body = html.split("?>", 1)[1]
+        root = ElementTree.fromstring(body)
+        ns = "{http://www.w3.org/1999/xhtml}"
+        mark = next(root.iter(f"{ns}mark"))
+        assert mark.get("title") == 'Sym"pt&om<x>'
+
+    def test_no_empty_class_attribute(self, one_report):
+        html = render_report_html(one_report.annotations)
+        assert 'class=""' not in html
+
+    def test_anchor_ids(self):
+        from repro.annotation.model import AnnotationDocument
+        from repro.viz.report_html import marked_narrative
+
+        doc = AnnotationDocument(doc_id="d", text="fever then chills")
+        doc.add_textbound("Sign_symptom", 0, 5)
+        doc.add_textbound("Sign_symptom", 11, 17)
+        narrative = marked_narrative(doc, {"T2": "claim-T2"})
+        fragment = ElementTree.fromstring(f"<p>{narrative}</p>")
+        ids = [mark.get("id") for mark in fragment.iter("mark")]
+        assert ids == [None, "claim-T2"]
+
 
 class TestApiEndpoints:
     def test_html_endpoint(self, demo_system):
